@@ -1,0 +1,154 @@
+// Micro-benchmarks (google-benchmark) for the design choices DESIGN.md
+// calls out: counter-RNG cost, tiled-layout index math, the diffusion
+// stencil, atomic vs tree reduction on the virtual GPU, PGAS collective
+// latency, and conflict-resolution throughput.  These measure *host wall
+// time* of this repository's implementations (the figure benches report
+// modeled target-machine time instead).
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/rules.hpp"
+#include "gpusim/gpusim.hpp"
+#include "pgas/runtime.hpp"
+#include "simcov_gpu/layout.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace simcov;
+
+void BM_RngDraw(benchmark::State& state) {
+  const CounterRng rng(7);
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rng.draw(step++, 12345, RngStream::kTCellBid));
+  }
+}
+BENCHMARK(BM_RngDraw);
+
+void BM_RngPoisson(benchmark::State& state) {
+  const CounterRng rng(7);
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rng.poisson(step++, 99, RngStream::kIncubationPeriod,
+                    static_cast<double>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RngPoisson)->Arg(8)->Arg(64)->Arg(480);
+
+void BM_TiledLayoutIndex(benchmark::State& state) {
+  const gpu::TiledLayout lay(256, 256, static_cast<std::int32_t>(state.range(0)));
+  std::int32_t x = 0, y = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lay.index(x, y));
+    x = (x + 7) % 256;
+    y = (y + 3) % 256;
+  }
+}
+BENCHMARK(BM_TiledLayoutIndex)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DiffusionStencilRow(benchmark::State& state) {
+  const std::int32_t n = 256;
+  std::vector<float> field(static_cast<std::size_t>(n) * n, 0.5f);
+  std::vector<float> out(field.size());
+  for (auto _ : state) {
+    for (std::int32_t y = 1; y + 1 < n; ++y) {
+      for (std::int32_t x = 1; x + 1 < n; ++x) {
+        const std::size_t i = static_cast<std::size_t>(y) * n + x;
+        const double sum = static_cast<double>(field[i - 1]) + field[i + 1] +
+                           field[i - n] + field[i + n];
+        out[i] = rules::diffuse(field[i], sum, 4, 0.15, 1e-5);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 2) * (n - 2));
+}
+BENCHMARK(BM_DiffusionStencilRow);
+
+void BM_TCellIntent(benchmark::State& state) {
+  const CounterRng rng(11);
+  rules::NeighbourView nb;
+  nb.count = 4;
+  for (int i = 0; i < 4; ++i) {
+    nb.ids[static_cast<std::size_t>(i)] = static_cast<VoxelId>(100 + i);
+    nb.epi[static_cast<std::size_t>(i)] =
+        (i == 2) ? EpiState::kExpressing : EpiState::kHealthy;
+  }
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rules::tcell_intent(rng, step++, 555, EpiState::kHealthy, nb));
+  }
+}
+BENCHMARK(BM_TCellIntent);
+
+/// Atomic-per-voxel reduction vs shared-memory tree reduction on the
+/// virtual GPU (§3.3) — both wall time and counted atomics differ sharply.
+void BM_GpuReduce(benchmark::State& state) {
+  const bool tree = state.range(0) != 0;
+  const std::size_t n = 64 * 1024;
+  gpusim::Device dev(0);
+  gpusim::DeviceBuffer<float> data(dev, n, 0.25f);
+  gpusim::DeviceBuffer<double> out(dev, 1, 0.0);
+  const std::uint32_t bd = 128;
+  for (auto _ : state) {
+    out.fill(0.0);
+    if (!tree) {
+      dev.parallel_for({static_cast<std::uint32_t>(n / bd), bd}, [&](auto& t) {
+        auto v = t.global(data);
+        t.global(out).atomic_add(0,
+                                 static_cast<double>(v.read(t.global_index())));
+      });
+    } else {
+      const std::uint32_t blocks = 64;
+      dev.launch_blocks({blocks, bd}, [&](auto& blk) {
+        auto sh = blk.template shared<double>(bd);
+        blk.for_each_thread([&](std::uint32_t tid) {
+          auto v = blk.global(data);
+          double acc = 0.0;
+          for (std::size_t i = blk.block_idx() * bd + tid; i < n;
+               i += static_cast<std::size_t>(blocks) * bd) {
+            acc += static_cast<double>(v.read(i));
+          }
+          sh[tid] = acc;
+        });
+        for (std::uint32_t off = bd / 2; off > 0; off >>= 1) {
+          blk.for_each_thread([&](std::uint32_t tid) {
+            if (tid < off) sh[tid] += sh[tid + off];
+          });
+        }
+        blk.for_each_thread([&](std::uint32_t tid) {
+          if (tid == 0) blk.global(out).atomic_add(0, sh[0]);
+        });
+      });
+    }
+    benchmark::DoNotOptimize(dev.stats());
+  }
+  state.counters["atomics/iter"] = static_cast<double>(
+      dev.stats().atomic_ops / static_cast<std::uint64_t>(state.iterations()));
+}
+BENCHMARK(BM_GpuReduce)->Arg(0)->Arg(1);
+
+void BM_PgasAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    pgas::Runtime rt(ranks);
+    rt.run([](pgas::Rank& r) {
+      double v = static_cast<double>(r.id());
+      for (int i = 0; i < 50; ++i) v = r.allreduce_sum(v) / r.world_size();
+      benchmark::DoNotOptimize(v);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_PgasAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

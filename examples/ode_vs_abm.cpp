@@ -1,0 +1,94 @@
+// Why spatial structure matters: ODE baseline vs the spatial ABM.
+//
+// The paper (§2.2) contrasts SIMCoV with earlier well-mixed ODE models in
+// which every virion can reach every cell.  This example runs both on a
+// matched setup (same number of epithelial cells, one initial infection
+// site / virion dose) and prints the early viral growth side by side: the
+// well-mixed ODE grows exponentially from the start, while the spatial
+// model's infection can only grow at its front, so its early expansion is
+// polynomial — one of the core reasons SIMCoV fits patient data better with
+// spatially distributed FOI (Moses et al. [25]).
+//
+// Usage: ode_vs_abm [key=value ...]  (SimParams keys)
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+
+#include "core/foi.hpp"
+#include "core/grid.hpp"
+#include "core/ode_baseline.hpp"
+#include "core/params.hpp"
+#include "core/reference_sim.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    simcov::SimParams p = simcov::SimParams::bench_fast();
+    p.dim_x = 100;
+    p.dim_y = 100;
+    p.num_steps = 420;
+    p.num_foi = 1;
+    // Compare pure growth shapes: no immune response in either model.
+    p.tcell_initial_delay = 1000000;
+    p.apply(simcov::Config::from_args(argc - 1, argv + 1));
+    p.validate();
+
+    const simcov::Grid grid(p.dim_x, p.dim_y, p.dim_z);
+    simcov::ReferenceSim abm(p, simcov::foi_uniform_random(grid, 1, p.seed));
+    abm.run(p.num_steps);
+    const auto abm_virus = simcov::series_virus(abm.history());
+
+    simcov::ode::OdeParams op;
+    op.n_cells = static_cast<double>(grid.num_voxels());
+    op.effector_delay = 1e9;  // growth-shape comparison: no response
+    const auto ode = simcov::ode::integrate(op, p.num_steps);
+
+    std::printf("# well-mixed ODE vs spatial ABM, %lld cells, 1 infection "
+                "site\n",
+                static_cast<long long>(grid.num_voxels()));
+    simcov::TextTable t({"step", "ODE virions", "ABM virions",
+                         "ODE growth x", "ABM growth x"});
+    const int checkpoints[] = {50, 100, 150, 200, 300, 400};
+    double prev_ode = 0.0, prev_abm = 0.0;
+    for (int s : checkpoints) {
+      if (s > p.num_steps) break;
+      const double ov = ode[static_cast<std::size_t>(s)].v;
+      const double av = abm_virus[static_cast<std::size_t>(s - 1)];
+      t.add_row({std::to_string(s), simcov::fmt(ov, 2), simcov::fmt(av, 2),
+                 prev_ode > 0 ? simcov::fmt(ov / prev_ode, 1) : "-",
+                 prev_abm > 0 ? simcov::fmt(av / prev_abm, 1) : "-"});
+      prev_ode = ov;
+      prev_abm = av;
+    }
+    std::printf("%s\n", t.to_string().c_str());
+
+    // Quantify the shape difference over the pre-immune window: fit the
+    // growth-factor ratio between two doubling windows; exponential growth
+    // keeps a constant factor, front-limited growth slows down.
+    auto factor = [](const std::vector<double>& v, int a, int b) {
+      return v[static_cast<std::size_t>(b)] / std::max(1e-9, v[static_cast<std::size_t>(a)]);
+    };
+    std::vector<double> ode_v;
+    for (const auto& s : ode) ode_v.push_back(s.v);
+    // Windows start after the ABM front is reliably established (the
+    // single-voxel seeding phase is stochastic) and end before ODE target
+    // cells deplete.
+    const double ode_early = factor(ode_v, 120, 220);
+    const double ode_late = factor(ode_v, 220, 320);
+    const double abm_early = factor(abm_virus, 120, 220);
+    const double abm_late = factor(abm_virus, 220, 320);
+    std::printf("growth factor ratio late/early (1.0 = exponential): "
+                "ODE %.2f, ABM %.2f\n",
+                ode_late / ode_early, abm_late / abm_early);
+    std::printf("spatial growth is front-limited (sub-exponential): %s\n",
+                (abm_late / abm_early) < 0.8 * (ode_late / ode_early)
+                    ? "confirmed"
+                    : "not visible with these parameters");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,106 @@
+#include "core/airways.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace simcov {
+
+namespace {
+
+struct Builder {
+  const Grid& grid;
+  const AirwayParams& p;
+  CounterRng rng;
+  std::vector<AirwaySegment> segments;
+  std::uint64_t node_id = 0;
+
+  void branch(double x, double y, double angle, double length,
+              double halfwidth, int gen) {
+    if (gen >= p.generations || length < 1.0) return;
+    const double x1 = x + std::sin(angle) * length;
+    const double y1 = y + std::cos(angle) * length;
+    segments.push_back({x, y, x1, y1, halfwidth, gen});
+    const std::uint64_t id = node_id++;
+    // Child angles: parent direction +- branch angle with jitter.
+    const double j1 = (rng.uniform(0, id, RngStream::kGeneric, 1) - 0.5) *
+                      2.0 * p.angle_jitter;
+    const double j2 = (rng.uniform(0, id, RngStream::kGeneric, 2) - 0.5) *
+                      2.0 * p.angle_jitter;
+    const double child_len = length * p.length_ratio;
+    const double child_hw = std::max(0.5, halfwidth * p.width_ratio);
+    branch(x1, y1, angle - p.branch_angle + j1, child_len, child_hw, gen + 1);
+    branch(x1, y1, angle + p.branch_angle + j2, child_len, child_hw, gen + 1);
+  }
+};
+
+/// Distance from point q to segment (a, b).
+double segment_distance(double qx, double qy, double ax, double ay, double bx,
+                        double by) {
+  const double dx = bx - ax, dy = by - ay;
+  const double len2 = dx * dx + dy * dy;
+  double t = 0.0;
+  if (len2 > 0.0) {
+    t = std::clamp(((qx - ax) * dx + (qy - ay) * dy) / len2, 0.0, 1.0);
+  }
+  const double px = ax + t * dx, py = ay + t * dy;
+  return std::hypot(qx - px, qy - py);
+}
+
+}  // namespace
+
+std::vector<AirwaySegment> airway_tree(const Grid& grid,
+                                       const AirwayParams& params) {
+  SIMCOV_REQUIRE(params.generations >= 1 && params.generations <= 16,
+                 "airway generations out of range");
+  SIMCOV_REQUIRE(params.root_halfwidth >= 0.5, "root airway too thin");
+  Builder b{grid, params, CounterRng(params.seed ^ 0xa112a75ULL), {}, 0};
+  const double root_len = params.root_length * grid.dim_y();
+  b.branch(grid.dim_x() / 2.0, 0.0, /*angle=*/0.0, root_len,
+           params.root_halfwidth, 0);
+  return b.segments;
+}
+
+std::vector<VoxelId> airway_voxels(const Grid& grid,
+                                   const AirwayParams& params) {
+  const auto segments = airway_tree(grid, params);
+  std::unordered_set<VoxelId> plane;  // z = 0 cross-section
+  for (const auto& s : segments) {
+    // Rasterize: scan the segment's bounding box padded by the half-width.
+    const double pad = s.halfwidth + 1.0;
+    const auto x_lo = static_cast<std::int32_t>(
+        std::floor(std::min(s.x0, s.x1) - pad));
+    const auto x_hi = static_cast<std::int32_t>(
+        std::ceil(std::max(s.x0, s.x1) + pad));
+    const auto y_lo = static_cast<std::int32_t>(
+        std::floor(std::min(s.y0, s.y1) - pad));
+    const auto y_hi = static_cast<std::int32_t>(
+        std::ceil(std::max(s.y0, s.y1) + pad));
+    for (std::int32_t y = std::max(0, y_lo);
+         y <= std::min(grid.dim_y() - 1, y_hi); ++y) {
+      for (std::int32_t x = std::max(0, x_lo);
+           x <= std::min(grid.dim_x() - 1, x_hi); ++x) {
+        if (segment_distance(x + 0.5, y + 0.5, s.x0, s.y0, s.x1, s.y1) <=
+            s.halfwidth) {
+          plane.insert(grid.to_id({x, y, 0}));
+        }
+      }
+    }
+  }
+  // Extrude through z (bronchial slice stack for 3D grids).
+  std::vector<VoxelId> out;
+  out.reserve(plane.size() * static_cast<std::size_t>(grid.dim_z()));
+  for (VoxelId v : plane) {
+    const Coord c = grid.to_coord(v);
+    for (std::int32_t z = 0; z < grid.dim_z(); ++z) {
+      out.push_back(grid.to_id({c.x, c.y, z}));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace simcov

@@ -1,0 +1,52 @@
+#pragma once
+// Branching airway structure generator.
+//
+// SIMCoV models lung structure "by leaving some voxels empty without
+// epithelial cells"; the paper's discussion (§6) proposes overlaying
+// "fractal branching airways" on the voxel grid once full-lung scale is
+// reachable.  This module generates such structures: a recursive bifurcating
+// tree of airway segments rasterized into empty-voxel sets, usable by every
+// backend (empty voxels block T cells, carry no epithelium, and host no
+// infection).
+//
+// The generator is deterministic in its seed and parameters, so parallel
+// backends can build identical structures without communication.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/types.hpp"
+
+namespace simcov {
+
+struct AirwayParams {
+  int generations = 5;          ///< bifurcation depth
+  double root_length = 0.25;    ///< first segment length, fraction of dim_y
+  double length_ratio = 0.72;   ///< child/parent length (Weibel-like ~0.7)
+  double root_halfwidth = 2.0;  ///< root lumen half-width in voxels
+  double width_ratio = 0.75;    ///< child/parent width
+  double branch_angle = 0.6;    ///< radians off the parent direction
+  double angle_jitter = 0.15;   ///< +- uniform jitter per branch (radians)
+  std::uint64_t seed = 7;
+};
+
+/// One rasterized airway segment (for tests and visualization).
+struct AirwaySegment {
+  double x0, y0, x1, y1;  ///< endpoints in voxel coordinates
+  double halfwidth;
+  int generation;
+};
+
+/// Generates the segment tree rooted at the top-centre of the grid, growing
+/// in +y.  Segments may leave the grid; rasterization clips them.
+std::vector<AirwaySegment> airway_tree(const Grid& grid,
+                                       const AirwayParams& params);
+
+/// Rasterizes the tree into a deduplicated, sorted set of empty voxels on
+/// the z = 0 plane (2D structure; for 3D grids the same cross-section is
+/// extruded through all z layers, modelling a bronchial slice stack).
+std::vector<VoxelId> airway_voxels(const Grid& grid,
+                                   const AirwayParams& params);
+
+}  // namespace simcov

@@ -1,0 +1,119 @@
+#include "core/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace simcov {
+
+std::int32_t split_start(std::int32_t n, int parts, int i) {
+  SIMCOV_REQUIRE(parts >= 1 && i >= 0 && i <= parts, "bad split query");
+  const std::int32_t base = n / parts;
+  const std::int32_t rem = n % parts;
+  return static_cast<std::int32_t>(i) * base + std::min<std::int32_t>(i, rem);
+}
+
+namespace {
+
+/// Picks an rx*ry = p rank grid whose aspect best matches the domain's.
+void choose_rank_grid(std::int32_t gx, std::int32_t gy, int p, int& rx,
+                      int& ry) {
+  double best = -1.0;
+  rx = 1;
+  ry = p;
+  for (int cx = 1; cx <= p; ++cx) {
+    if (p % cx != 0) continue;
+    const int cy = p / cx;
+    if (cx > gx || cy > gy) continue;  // never more ranks than voxels per axis
+    // Score: how square the per-rank blocks are (1 = perfectly square).
+    const double bx = static_cast<double>(gx) / cx;
+    const double by = static_cast<double>(gy) / cy;
+    const double score = std::min(bx, by) / std::max(bx, by);
+    if (score > best) {
+      best = score;
+      rx = cx;
+      ry = cy;
+    }
+  }
+  SIMCOV_REQUIRE(best >= 0.0,
+                 "no feasible rank grid (more ranks than voxels per axis?)");
+}
+
+}  // namespace
+
+Decomposition::Decomposition(const Grid& grid, int num_ranks, Kind kind)
+    : gx_(grid.dim_x()), gy_(grid.dim_y()), gz_(grid.dim_z()) {
+  SIMCOV_REQUIRE(num_ranks >= 1, "need at least one rank");
+  if (kind == Kind::kLinear) {
+    SIMCOV_REQUIRE(num_ranks <= gy_,
+                   "linear decomposition: more ranks than rows");
+    rx_ = 1;
+    ry_ = num_ranks;
+  } else {
+    choose_rank_grid(gx_, gy_, num_ranks, rx_, ry_);
+  }
+  build(grid);
+}
+
+Decomposition::Decomposition(const Grid& grid, int rx, int ry)
+    : rx_(rx), ry_(ry), gx_(grid.dim_x()), gy_(grid.dim_y()),
+      gz_(grid.dim_z()) {
+  SIMCOV_REQUIRE(rx >= 1 && ry >= 1, "rank grid dims must be positive");
+  SIMCOV_REQUIRE(rx <= gx_ && ry <= gy_, "more ranks than voxels per axis");
+  build(grid);
+}
+
+void Decomposition::build(const Grid& grid) {
+  (void)grid;
+  x_starts_.resize(static_cast<std::size_t>(rx_) + 1);
+  y_starts_.resize(static_cast<std::size_t>(ry_) + 1);
+  for (int i = 0; i <= rx_; ++i)
+    x_starts_[static_cast<std::size_t>(i)] = split_start(gx_, rx_, i);
+  for (int i = 0; i <= ry_; ++i)
+    y_starts_[static_cast<std::size_t>(i)] = split_start(gy_, ry_, i);
+
+  subs_.resize(static_cast<std::size_t>(rx_) * ry_);
+  for (int cy = 0; cy < ry_; ++cy) {
+    for (int cx = 0; cx < rx_; ++cx) {
+      const int r = cy * rx_ + cx;
+      Subdomain& s = subs_[static_cast<std::size_t>(r)];
+      s.rank = r;
+      s.origin = {x_starts_[static_cast<std::size_t>(cx)],
+                  y_starts_[static_cast<std::size_t>(cy)], 0};
+      s.extent = {x_starts_[static_cast<std::size_t>(cx) + 1] -
+                      x_starts_[static_cast<std::size_t>(cx)],
+                  y_starts_[static_cast<std::size_t>(cy) + 1] -
+                      y_starts_[static_cast<std::size_t>(cy)],
+                  gz_};
+      SIMCOV_REQUIRE(s.extent.x >= 1 && s.extent.y >= 1,
+                     "decomposition produced an empty sub-domain");
+      s.neighbour[kFaceXNeg] = (cx > 0) ? r - 1 : -1;
+      s.neighbour[kFaceXPos] = (cx + 1 < rx_) ? r + 1 : -1;
+      s.neighbour[kFaceYNeg] = (cy > 0) ? r - rx_ : -1;
+      s.neighbour[kFaceYPos] = (cy + 1 < ry_) ? r + rx_ : -1;
+    }
+  }
+}
+
+const Subdomain& Decomposition::sub(int rank) const {
+  SIMCOV_REQUIRE(rank >= 0 && rank < num_ranks(), "rank out of range");
+  return subs_[static_cast<std::size_t>(rank)];
+}
+
+int Decomposition::owner(const Coord& c) const {
+  SIMCOV_REQUIRE(c.x >= 0 && c.x < gx_ && c.y >= 0 && c.y < gy_ && c.z >= 0 &&
+                     c.z < gz_,
+                 "coordinate outside the grid");
+  const auto find_cell = [](const std::vector<std::int32_t>& starts,
+                            std::int32_t v) {
+    // starts is ascending with starts.front()==0; find the last start <= v.
+    auto it = std::upper_bound(starts.begin(), starts.end(), v);
+    return static_cast<int>(it - starts.begin()) - 1;
+  };
+  const int cx = find_cell(x_starts_, c.x);
+  const int cy = find_cell(y_starts_, c.y);
+  return cy * rx_ + cx;
+}
+
+}  // namespace simcov

@@ -1,0 +1,72 @@
+#pragma once
+// Domain decomposition: assigning grid sub-domains to ranks.
+//
+// SIMCoV-CPU subdivides the simulation space using linear, 2D or 3D
+// decomposition (paper Fig. 1B); SIMCoV-GPU uses 2D decomposition for 2D
+// simulations (Fig. 3A).  Both backends here share this module.  Sub-domains
+// keep the z extent whole (the paper's evaluation is 2D); uneven divisions
+// are supported by spreading the remainder over the leading ranks.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/grid.hpp"
+
+namespace simcov {
+
+/// Face indices in contract order (matches Grid::kOffsets x/y entries).
+enum Face : int { kFaceXNeg = 0, kFaceXPos = 1, kFaceYNeg = 2, kFaceYPos = 3 };
+constexpr int kNumFaces = 4;
+
+struct Subdomain {
+  int rank = 0;
+  Coord origin;                      ///< inclusive global origin
+  Coord extent;                      ///< size in voxels
+  std::array<int, kNumFaces> neighbour{-1, -1, -1, -1};  ///< rank per face
+
+  std::int64_t num_voxels() const {
+    return static_cast<std::int64_t>(extent.x) * extent.y * extent.z;
+  }
+  bool contains(const Coord& c) const {
+    return c.x >= origin.x && c.x < origin.x + extent.x && c.y >= origin.y &&
+           c.y < origin.y + extent.y && c.z >= origin.z &&
+           c.z < origin.z + extent.z;
+  }
+};
+
+class Decomposition {
+ public:
+  enum class Kind { kLinear, kBlock2D };
+
+  /// Builds a decomposition of `grid` over `num_ranks` ranks.  kLinear cuts
+  /// the y axis into strips; kBlock2D arranges ranks in an rx-by-ry grid
+  /// chosen as close to square (and to the domain's aspect ratio) as the
+  /// rank count allows.
+  Decomposition(const Grid& grid, int num_ranks, Kind kind);
+
+  /// Explicit 2D rank grid (rx * ry must equal num_ranks).
+  Decomposition(const Grid& grid, int rx, int ry);
+
+  int num_ranks() const { return static_cast<int>(subs_.size()); }
+  int rank_grid_x() const { return rx_; }
+  int rank_grid_y() const { return ry_; }
+  const Subdomain& sub(int rank) const;
+
+  /// Which rank owns a global coordinate.
+  int owner(const Coord& c) const;
+
+ private:
+  void build(const Grid& grid);
+
+  int rx_ = 1, ry_ = 1;
+  std::int32_t gx_, gy_, gz_;
+  std::vector<Subdomain> subs_;
+  std::vector<std::int32_t> x_starts_, y_starts_;  ///< split boundaries
+};
+
+/// Splits `n` into `parts` near-equal pieces; returns the start of piece `i`
+/// (piece sizes are n/parts plus one for the first n%parts pieces).
+std::int32_t split_start(std::int32_t n, int parts, int i);
+
+}  // namespace simcov

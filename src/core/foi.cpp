@@ -1,0 +1,81 @@
+#include "core/foi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace simcov {
+
+std::vector<VoxelId> foi_uniform_random(const Grid& grid, std::int64_t count,
+                                        std::uint64_t seed) {
+  SIMCOV_REQUIRE(count >= 0, "FOI count must be non-negative");
+  SIMCOV_REQUIRE(static_cast<std::uint64_t>(count) <= grid.num_voxels(),
+                 "more FOI than voxels");
+  const CounterRng rng(seed);
+  std::unordered_set<VoxelId> chosen;
+  std::vector<VoxelId> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::uint64_t salt = 0;
+  while (out.size() < static_cast<std::size_t>(count)) {
+    // step=0, entity=index-being-filled, salt bumps on collisions.
+    const VoxelId v = rng.uniform_int(
+        /*step=*/0, /*entity=*/out.size(), RngStream::kGeneric,
+        static_cast<std::uint32_t>(grid.num_voxels()), salt++);
+    if (chosen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VoxelId> foi_ct_lesions(const Grid& grid, std::int64_t num_lesions,
+                                    double mean_radius, std::uint64_t seed) {
+  SIMCOV_REQUIRE(num_lesions >= 0, "lesion count must be non-negative");
+  SIMCOV_REQUIRE(mean_radius >= 0.0, "lesion radius must be non-negative");
+  const CounterRng rng(seed ^ 0x17ab3cdULL);
+  std::unordered_set<VoxelId> voxels;
+  for (std::int64_t l = 0; l < num_lesions; ++l) {
+    const VoxelId centre_id = rng.uniform_int(
+        0, static_cast<std::uint64_t>(l), RngStream::kGeneric,
+        static_cast<std::uint32_t>(grid.num_voxels()));
+    const Coord c = grid.to_coord(centre_id);
+    const auto r = static_cast<std::int32_t>(rng.poisson(
+        1, static_cast<std::uint64_t>(l), RngStream::kGeneric, mean_radius));
+    for (std::int32_t dy = -r; dy <= r; ++dy) {
+      for (std::int32_t dx = -r; dx <= r; ++dx) {
+        if (dx * dx + dy * dy > r * r) continue;
+        Coord p{c.x + dx, c.y + dy, c.z};
+        if (grid.in_bounds(p)) voxels.insert(grid.to_id(p));
+      }
+    }
+  }
+  std::vector<VoxelId> out(voxels.begin(), voxels.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<VoxelId> foi_lattice(const Grid& grid, std::int64_t count) {
+  SIMCOV_REQUIRE(count >= 0, "FOI count must be non-negative");
+  std::vector<VoxelId> out;
+  if (count == 0) return out;
+  // Place on a near-square lattice over the xy plane of z = dim_z/2.
+  const auto side = static_cast<std::int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(count))));
+  const std::int32_t z = grid.dim_z() / 2;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const std::int64_t gx = i % side;
+    const std::int64_t gy = i / side;
+    Coord c{static_cast<std::int32_t>((2 * gx + 1) * grid.dim_x() / (2 * side)),
+            static_cast<std::int32_t>((2 * gy + 1) * grid.dim_y() / (2 * side)),
+            z};
+    c.x = std::min(c.x, grid.dim_x() - 1);
+    c.y = std::min(c.y, grid.dim_y() - 1);
+    out.push_back(grid.to_id(c));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace simcov

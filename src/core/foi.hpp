@@ -1,0 +1,34 @@
+#pragma once
+// Foci-of-infection (FOI) seeding.
+//
+// SIMCoV seeds infection at spatially distinct voxels; the number of FOI is
+// a key performance variable (Fig. 8) because each focus becomes a growing
+// active region.  The paper's discussion (§6) motivates CT-scan-derived
+// initial conditions with "large patchy lesions" rather than points — the
+// ct_lesions generator below synthesizes that scenario for the lung_slice
+// example and the stress benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/types.hpp"
+
+namespace simcov {
+
+/// `count` distinct voxels, uniformly at random, deterministic in `seed`.
+/// The same (grid, count, seed) yields the same set on every backend.
+std::vector<VoxelId> foi_uniform_random(const Grid& grid, std::int64_t count,
+                                        std::uint64_t seed);
+
+/// CT-like patchy lesions: `num_lesions` random centres, each dilated into a
+/// roughly disc-shaped blob whose radius is Poisson-distributed around
+/// `mean_radius`.  Returns the union of lesion voxels (deduplicated).
+std::vector<VoxelId> foi_ct_lesions(const Grid& grid, std::int64_t num_lesions,
+                                    double mean_radius, std::uint64_t seed);
+
+/// A regular lattice of FOI (deterministic, evenly spread) — useful for
+/// load-balance experiments where imbalance must be controlled.
+std::vector<VoxelId> foi_lattice(const Grid& grid, std::int64_t count);
+
+}  // namespace simcov

@@ -1,0 +1,83 @@
+#pragma once
+// Grid geometry: global voxel ids, coordinates, and von Neumann neighbours.
+//
+// Neighbour enumeration order is part of the simulation contract: random
+// target selection indexes into the neighbour list, and diffusion sums
+// neighbour values in list order, so all backends must enumerate
+// identically.  The fixed order is -x, +x, -y, +y, -z, +z, skipping
+// out-of-bounds entries.
+
+#include <array>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "util/error.hpp"
+
+namespace simcov {
+
+class Grid {
+ public:
+  Grid(std::int32_t dx, std::int32_t dy, std::int32_t dz)
+      : dx_(dx), dy_(dy), dz_(dz) {
+    SIMCOV_REQUIRE(dx >= 1 && dy >= 1 && dz >= 1, "grid dims must be >= 1");
+    SIMCOV_REQUIRE(static_cast<std::uint64_t>(dx) * static_cast<std::uint64_t>(dy) *
+                           static_cast<std::uint64_t>(dz) <
+                       (1ULL << 32),
+                   "grid exceeds 2^32 voxels");
+  }
+
+  std::int32_t dim_x() const { return dx_; }
+  std::int32_t dim_y() const { return dy_; }
+  std::int32_t dim_z() const { return dz_; }
+  std::uint64_t num_voxels() const {
+    return static_cast<std::uint64_t>(dx_) * dy_ * dz_;
+  }
+  bool is_2d() const { return dz_ == 1; }
+
+  bool in_bounds(const Coord& c) const {
+    return c.x >= 0 && c.x < dx_ && c.y >= 0 && c.y < dy_ && c.z >= 0 &&
+           c.z < dz_;
+  }
+
+  VoxelId to_id(const Coord& c) const {
+    SIMCOV_ASSERT(in_bounds(c), "coordinate out of bounds");
+    return (static_cast<VoxelId>(c.z) * dy_ + c.y) * dx_ + c.x;
+  }
+
+  Coord to_coord(VoxelId id) const {
+    SIMCOV_ASSERT(id < num_voxels(), "voxel id out of bounds");
+    Coord c;
+    c.x = static_cast<std::int32_t>(id % static_cast<std::uint64_t>(dx_));
+    id /= static_cast<std::uint64_t>(dx_);
+    c.y = static_cast<std::int32_t>(id % static_cast<std::uint64_t>(dy_));
+    c.z = static_cast<std::int32_t>(id / static_cast<std::uint64_t>(dy_));
+    return c;
+  }
+
+  /// The six axis offsets in contract order.
+  static constexpr std::array<Coord, 6> kOffsets = {
+      Coord{-1, 0, 0}, Coord{+1, 0, 0}, Coord{0, -1, 0},
+      Coord{0, +1, 0}, Coord{0, 0, -1}, Coord{0, 0, +1}};
+
+  /// Number of neighbour slots considered (4 in 2D, 6 in 3D).
+  int neighbour_slots() const { return is_2d() ? 4 : 6; }
+
+  /// Collects in-bounds von Neumann neighbours of `c` in contract order.
+  /// Returns the count; coordinates land in `out`.
+  int neighbours(const Coord& c, std::array<Coord, 6>& out) const {
+    int n = 0;
+    const int slots = neighbour_slots();
+    for (int i = 0; i < slots; ++i) {
+      Coord nb{c.x + kOffsets[static_cast<std::size_t>(i)].x,
+               c.y + kOffsets[static_cast<std::size_t>(i)].y,
+               c.z + kOffsets[static_cast<std::size_t>(i)].z};
+      if (in_bounds(nb)) out[static_cast<std::size_t>(n++)] = nb;
+    }
+    return n;
+  }
+
+ private:
+  std::int32_t dx_, dy_, dz_;
+};
+
+}  // namespace simcov

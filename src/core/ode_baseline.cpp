@@ -1,0 +1,113 @@
+#include "core/ode_baseline.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace simcov::ode {
+
+void OdeParams::validate() const {
+  SIMCOV_REQUIRE(n_cells > 0, "n_cells must be positive");
+  SIMCOV_REQUIRE(beta >= 0 && eclipse_k >= 0 && delta >= 0 && kappa >= 0,
+                 "rates must be non-negative");
+  SIMCOV_REQUIRE(production >= 0 && clearance >= 0, "bad virion rates");
+  SIMCOV_REQUIRE(dt > 0 && dt <= 1.0, "dt must be in (0, 1] steps");
+  SIMCOV_REQUIRE(std::fmod(1.0, dt) < 1e-12 || std::fmod(1.0, dt) > 1.0 - 1e-12,
+                 "dt must divide one simulation step evenly");
+}
+
+namespace {
+
+struct Deriv {
+  double t, i1, i2, v, e, dead;
+};
+
+Deriv derivatives(const OdeParams& p, const OdeState& raw, double time) {
+  // Rates are evaluated on the non-negative part of the state: RK4 stages
+  // can momentarily undershoot zero on stiff (aggressive-response)
+  // parameterizations, and negative populations must not generate negative
+  // rates (standard positivity guard for population ODEs).
+  OdeState s = raw;
+  s.t = std::max(s.t, 0.0);
+  s.i1 = std::max(s.i1, 0.0);
+  s.i2 = std::max(s.i2, 0.0);
+  s.v = std::max(s.v, 0.0);
+  s.e = std::max(s.e, 0.0);
+  Deriv d{};
+  const double infection = p.beta * s.t * s.v;
+  const double killing = p.kappa * s.e * s.i2;
+  d.t = -infection;
+  d.i1 = infection - p.eclipse_k * s.i1;
+  d.i2 = p.eclipse_k * s.i1 - p.delta * s.i2 - killing;
+  d.v = p.production * s.i2 - p.clearance * s.v;
+  const double source = (time >= p.effector_delay) ? p.effector_source : 0.0;
+  d.e = source + p.effector_expand * s.e * s.i2 / (s.i2 + p.effector_half) -
+        p.effector_decay * s.e;
+  d.dead = p.delta * s.i2 + killing;
+  return d;
+}
+
+OdeState advance(const OdeState& s, const Deriv& d, double h) {
+  OdeState out;
+  out.t = s.t + h * d.t;
+  out.i1 = s.i1 + h * d.i1;
+  out.i2 = s.i2 + h * d.i2;
+  out.v = s.v + h * d.v;
+  out.e = s.e + h * d.e;
+  out.dead = s.dead + h * d.dead;
+  return out;
+}
+
+Deriv combine(const Deriv& k1, const Deriv& k2, const Deriv& k3,
+              const Deriv& k4) {
+  auto mix = [](double a, double b, double c, double d) {
+    return (a + 2 * b + 2 * c + d) / 6.0;
+  };
+  return {mix(k1.t, k2.t, k3.t, k4.t),     mix(k1.i1, k2.i1, k3.i1, k4.i1),
+          mix(k1.i2, k2.i2, k3.i2, k4.i2), mix(k1.v, k2.v, k3.v, k4.v),
+          mix(k1.e, k2.e, k3.e, k4.e),     mix(k1.dead, k2.dead, k3.dead, k4.dead)};
+}
+
+OdeState clamp_nonnegative(OdeState s) {
+  s.t = std::max(s.t, 0.0);
+  s.i1 = std::max(s.i1, 0.0);
+  s.i2 = std::max(s.i2, 0.0);
+  s.v = std::max(s.v, 0.0);
+  s.e = std::max(s.e, 0.0);
+  s.dead = std::max(s.dead, 0.0);
+  return s;
+}
+
+}  // namespace
+
+OdeState rk4_step(const OdeParams& p, const OdeState& s, double time,
+                  double dt) {
+  const Deriv k1 = derivatives(p, s, time);
+  const Deriv k2 = derivatives(p, advance(s, k1, dt / 2), time + dt / 2);
+  const Deriv k3 = derivatives(p, advance(s, k2, dt / 2), time + dt / 2);
+  const Deriv k4 = derivatives(p, advance(s, k3, dt), time + dt);
+  return clamp_nonnegative(advance(s, combine(k1, k2, k3, k4), dt));
+}
+
+std::vector<OdeState> integrate(const OdeParams& p, std::int64_t steps) {
+  p.validate();
+  SIMCOV_REQUIRE(steps >= 0, "steps must be non-negative");
+  OdeState s;
+  s.t = p.n_cells;
+  s.v = p.v0;
+  std::vector<OdeState> out;
+  out.reserve(static_cast<std::size_t>(steps) + 1);
+  out.push_back(s);
+  const auto substeps = static_cast<int>(std::lround(1.0 / p.dt));
+  double time = 0.0;
+  for (std::int64_t step = 0; step < steps; ++step) {
+    for (int k = 0; k < substeps; ++k) {
+      s = rk4_step(p, s, time, p.dt);
+      time += p.dt;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace simcov::ode

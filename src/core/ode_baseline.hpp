@@ -1,0 +1,70 @@
+#pragma once
+// Well-mixed ODE within-host infection model (comparison baseline).
+//
+// The paper positions SIMCoV against earlier ODE models (§2.2: Hernandez-
+// Vargas & Velasco-Hernandez; Wang et al.), in which "populations of cells,
+// virus and other entities [are] well-mixed ... all possible interactions
+// are equally likely regardless of where the entities are located".  This
+// module implements that baseline: a target-cell-limited TIV model with an
+// eclipse phase and a simple effector-cell response, integrated with
+// classic RK4.  The ode_vs_abm example contrasts its exponential early
+// growth with the spatial model's front-limited growth — the original
+// motivation for SIMCoV's spatial structure.
+//
+// State variables (densities over one epithelium of N cells):
+//   T   healthy target cells          I1  eclipse-phase (incubating) cells
+//   I2  virion-producing cells        V   free virions
+//   E   effector (T cell) strength    D   cumulative dead cells
+//
+//   T'  = -beta T V
+//   I1' =  beta T V - k I1
+//   I2' =  k I1 - delta I2 - kappa E I2
+//   V'  =  p I2 - c V
+//   E'  =  s(t >= t_delay) + r E I2 / (I2 + K) - d E
+//   D'  =  delta I2 + kappa E I2
+
+#include <cstdint>
+#include <vector>
+
+namespace simcov::ode {
+
+struct OdeParams {
+  double n_cells = 1e4;     ///< epithelium size (matches an ABM grid)
+  double beta = 4e-6;       ///< infection rate per virion per cell
+  double eclipse_k = 1.0 / 30.0;   ///< eclipse exit rate (1/steps)
+  double delta = 1.0 / 120.0;      ///< infected-cell death rate
+  double production = 0.1;  ///< virions per infectious cell per step
+  double clearance = 0.01;  ///< virion clearance rate
+  double kappa = 5e-4;      ///< killing rate per effector unit
+  double effector_source = 0.5;    ///< effector influx after the delay
+  double effector_delay = 120.0;   ///< steps before the response starts
+  double effector_expand = 0.02;   ///< proliferation rate near infection
+  double effector_half = 50.0;     ///< half-saturation of proliferation
+  double effector_decay = 1.0 / 300.0;
+  double v0 = 1.0;          ///< initial virions
+  double dt = 0.5;          ///< RK4 step, in simulation timesteps
+
+  void validate() const;
+};
+
+struct OdeState {
+  double t = 0.0;   ///< healthy target cells (set from n_cells at start)
+  double i1 = 0.0;
+  double i2 = 0.0;
+  double v = 0.0;
+  double e = 0.0;
+  double dead = 0.0;
+
+  double total_cells() const { return t + i1 + i2 + dead; }
+};
+
+/// Integrates from the standard initial condition (all cells healthy,
+/// v = v0) and returns one state per whole simulation step, `steps + 1`
+/// entries including the initial condition.
+std::vector<OdeState> integrate(const OdeParams& params, std::int64_t steps);
+
+/// One RK4 step of size dt from `s` (exposed for convergence tests).
+OdeState rk4_step(const OdeParams& params, const OdeState& s, double time,
+                  double dt);
+
+}  // namespace simcov::ode

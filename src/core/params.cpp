@@ -1,0 +1,101 @@
+#include "core/params.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace simcov {
+
+SimParams SimParams::covid_default() { return SimParams{}; }
+
+SimParams SimParams::bench_fast() {
+  SimParams p;
+  p.num_steps = 600;
+  p.num_foi = 4;
+  p.virus_diffusion = 0.3;
+  p.virus_production = 0.08;
+  p.infectivity = 0.02;
+  p.chem_production = 0.2;
+  p.incubation_period = 30;
+  p.expressing_period = 120;
+  p.apoptosis_period = 40;
+  p.tcell_initial_delay = 120;
+  p.tcell_generation_rate = 8.0;
+  p.tcell_vascular_period = 600;
+  p.tcell_tissue_period = 300;
+  p.tcell_binding_period = 5;
+  return p;
+}
+
+void SimParams::apply(const Config& cfg) {
+  for (const auto& key : cfg.keys()) {
+    if (key == "dim_x") dim_x = static_cast<std::int32_t>(cfg.get_int(key));
+    else if (key == "dim_y") dim_y = static_cast<std::int32_t>(cfg.get_int(key));
+    else if (key == "dim_z") dim_z = static_cast<std::int32_t>(cfg.get_int(key));
+    else if (key == "num_steps") num_steps = cfg.get_int(key);
+    else if (key == "seed") seed = static_cast<std::uint64_t>(cfg.get_int(key));
+    else if (key == "num_foi") num_foi = cfg.get_int(key);
+    else if (key == "initial_virus") initial_virus = static_cast<float>(cfg.get_double(key));
+    else if (key == "virus_diffusion") virus_diffusion = cfg.get_double(key);
+    else if (key == "virus_decay") virus_decay = cfg.get_double(key);
+    else if (key == "virus_production") virus_production = cfg.get_double(key);
+    else if (key == "min_virus") min_virus = cfg.get_double(key);
+    else if (key == "infectivity") infectivity = cfg.get_double(key);
+    else if (key == "chem_diffusion") chem_diffusion = cfg.get_double(key);
+    else if (key == "chem_decay") chem_decay = cfg.get_double(key);
+    else if (key == "chem_production") chem_production = cfg.get_double(key);
+    else if (key == "min_chem") min_chem = cfg.get_double(key);
+    else if (key == "incubation_period") incubation_period = cfg.get_double(key);
+    else if (key == "expressing_period") expressing_period = cfg.get_double(key);
+    else if (key == "apoptosis_period") apoptosis_period = cfg.get_double(key);
+    else if (key == "tcell_generation_rate") tcell_generation_rate = cfg.get_double(key);
+    else if (key == "tcell_initial_delay") tcell_initial_delay = cfg.get_int(key);
+    else if (key == "tcell_vascular_period") tcell_vascular_period = cfg.get_double(key);
+    else if (key == "tcell_tissue_period") tcell_tissue_period = cfg.get_double(key);
+    else if (key == "tcell_binding_period") tcell_binding_period = cfg.get_int(key);
+    else if (key == "max_extravasate_per_step") max_extravasate_per_step = cfg.get_int(key);
+    else if (key == "tile_side") tile_side = static_cast<std::int32_t>(cfg.get_int(key));
+    else if (key == "tile_check_period") tile_check_period = static_cast<std::int32_t>(cfg.get_int(key));
+    else if (key == "block_dim") block_dim = static_cast<std::int32_t>(cfg.get_int(key));
+    else throw Error("unknown simulation parameter '" + key + "'");
+  }
+}
+
+void SimParams::validate() const {
+  SIMCOV_REQUIRE(dim_x >= 1 && dim_y >= 1 && dim_z >= 1,
+                 "grid dimensions must be positive");
+  SIMCOV_REQUIRE(num_voxels() < (1LL << 32),
+                 "grid exceeds 2^32 voxels (VoxelId packing limit)");
+  SIMCOV_REQUIRE(num_steps >= 0, "num_steps must be non-negative");
+  SIMCOV_REQUIRE(num_foi >= 0 && num_foi <= num_voxels(),
+                 "num_foi out of range");
+  SIMCOV_REQUIRE(virus_diffusion >= 0.0 && virus_diffusion <= 1.0,
+                 "virus_diffusion must be in [0,1] for stencil stability");
+  SIMCOV_REQUIRE(chem_diffusion >= 0.0 && chem_diffusion <= 1.0,
+                 "chem_diffusion must be in [0,1] for stencil stability");
+  SIMCOV_REQUIRE(virus_decay >= 0.0 && virus_decay <= 1.0, "bad virus_decay");
+  SIMCOV_REQUIRE(chem_decay >= 0.0 && chem_decay <= 1.0, "bad chem_decay");
+  SIMCOV_REQUIRE(infectivity >= 0.0, "infectivity must be non-negative");
+  SIMCOV_REQUIRE(incubation_period >= 0 && expressing_period >= 0 &&
+                     apoptosis_period >= 0,
+                 "state periods must be non-negative");
+  SIMCOV_REQUIRE(tcell_binding_period >= 1, "binding period must be >= 1");
+  SIMCOV_REQUIRE(tcell_vascular_period >= 1 && tcell_tissue_period >= 1,
+                 "T cell periods must be >= 1");
+  SIMCOV_REQUIRE(max_extravasate_per_step >= 0, "bad extravasation cap");
+  SIMCOV_REQUIRE(tile_side >= 1, "tile_side must be >= 1");
+  SIMCOV_REQUIRE(tile_check_period >= 1 && tile_check_period <= tile_side,
+                 "tile_check_period must be in [1, tile_side] "
+                 "(the one-tile activation buffer is only safe if activity "
+                 "cannot cross a tile between sweeps; see paper section 3.2)");
+  SIMCOV_REQUIRE(block_dim >= 1 && block_dim <= 1024, "bad block_dim");
+}
+
+std::string SimParams::summary() const {
+  std::ostringstream os;
+  os << dim_x << "x" << dim_y << "x" << dim_z << " voxels, " << num_steps
+     << " steps, " << num_foi << " FOI, seed " << seed;
+  return os.str();
+}
+
+}  // namespace simcov

@@ -1,0 +1,90 @@
+#pragma once
+// Simulation parameters.
+//
+// Defaults follow the SARS-CoV-2 parameterization of SIMCoV (Moses et al.,
+// PLoS Comp Bio 2021 [25]) as described in the paper: 5 um voxels, 1-minute
+// timesteps, Poisson-distributed epithelial state periods, diffusing virion
+// and inflammatory-signal fields normalized to [0,1] per voxel, and T cells
+// that extravasate with probability proportional to the inflammatory signal.
+// Values the paper does not pin down exactly are marked `// approx` — the
+// reproduction target is the performance/shape evaluation, not clinical
+// epidemiology, and every experiment uses one fixed parameter set for both
+// backends so comparisons are apples-to-apples.
+
+#include <cstdint>
+#include <string>
+
+#include "util/config.hpp"
+
+namespace simcov {
+
+struct SimParams {
+  // --- geometry -----------------------------------------------------------
+  std::int32_t dim_x = 256;
+  std::int32_t dim_y = 256;
+  std::int32_t dim_z = 1;  ///< 1 => 2D simulation (the paper evaluates 2D)
+
+  // --- run control ---------------------------------------------------------
+  std::int64_t num_steps = 2000;  ///< paper runs 33,120 (~23 simulated days)
+  std::uint64_t seed = 29;
+
+  // --- infection seeding ----------------------------------------------------
+  std::int64_t num_foi = 4;  ///< foci of infection, placed uniformly at random
+  float initial_virus = 1.0f;  ///< virions deposited at each FOI
+
+  // --- virion field ---------------------------------------------------------
+  double virus_diffusion = 0.15;     ///< [25] default diffusion coefficient
+  double virus_decay = 0.004;        ///< [25] clearance per timestep
+  double virus_production = 0.02;    ///< per infected cell per step (approx)
+  double min_virus = 1e-5;           ///< zero-floor epsilon (activity cutoff)
+  double infectivity = 0.002;        ///< P(infect) = infectivity * virus
+
+  // --- inflammatory signal --------------------------------------------------
+  double chem_diffusion = 1.0;       ///< [25] inflammatory signal spreads fast
+  double chem_decay = 0.01;          ///< [25]
+  double chem_production = 0.1;      ///< per expressing/apoptotic cell (approx)
+  double min_chem = 1e-6;            ///< zero-floor epsilon
+
+  // --- epithelial state periods (means of Poisson samples, in steps) --------
+  double incubation_period = 480;    ///< [25] 8 h
+  double expressing_period = 900;    ///< [25] 15 h
+  double apoptosis_period = 180;     ///< [25] 3 h
+
+  // --- T cells ---------------------------------------------------------------
+  double tcell_generation_rate = 2.0;  ///< cells entering vasculature per step (scaled to slice; approx)
+  std::int64_t tcell_initial_delay = 10080;  ///< [25] 7 days before response
+  double tcell_vascular_period = 5760;       ///< [25] 4 days
+  double tcell_tissue_period = 1440;         ///< [25] 1 day
+  std::int64_t tcell_binding_period = 10;    ///< [25] 10 min to trigger apoptosis
+  std::int64_t max_extravasate_per_step = 4096;  ///< attempt cap (approx)
+
+  // --- GPU backend knobs ------------------------------------------------------
+  std::int32_t tile_side = 8;          ///< memory tile edge length (§3.2)
+  std::int32_t tile_check_period = 8;  ///< active-tile sweep period, must be <= tile_side
+  std::int32_t block_dim = 128;        ///< CUDA threads per block
+
+  /// The paper's default COVID-19 parameter set (above).
+  static SimParams covid_default();
+
+  /// A fast-spreading preset for scaled-down benchmarking: same mechanics,
+  /// shorter delays and stronger spread so a few hundred steps reproduce the
+  /// activity growth the paper sees over 33k steps on a 400x larger grid.
+  static SimParams bench_fast();
+
+  /// Applies `key = value` overrides; unknown keys throw.
+  void apply(const Config& cfg);
+
+  /// Validates invariants (dimensions positive, tile divisibility handled by
+  /// the GPU backend, probabilities in range, ...).  Throws on violation.
+  void validate() const;
+
+  std::int64_t num_voxels() const {
+    return static_cast<std::int64_t>(dim_x) * dim_y * dim_z;
+  }
+
+  bool is_2d() const { return dim_z == 1; }
+
+  std::string summary() const;
+};
+
+}  // namespace simcov

@@ -1,0 +1,92 @@
+#pragma once
+// Serial reference simulator: the semantic ground truth.
+//
+// Executes the rules of core/rules.hpp over the full grid with no
+// decomposition, no active-region tracking, and no communication.  The
+// parallel backends must reproduce this simulator's state bit-for-bit at
+// every step (see tests/equivalence_test.cpp); it is deliberately simple so
+// that its correctness can be argued by reading it next to the rules header.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/grid.hpp"
+#include "core/params.hpp"
+#include "core/rules.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+
+namespace simcov {
+
+class ReferenceSim {
+ public:
+  /// `foi` voxels start with `initial_virus`; `empty_voxels` model airways
+  /// (no epithelium, T cells cannot enter).
+  ReferenceSim(const SimParams& params, std::vector<VoxelId> foi,
+               std::vector<VoxelId> empty_voxels = {});
+
+  /// Advances one timestep (all four phases) and appends to history().
+  void step();
+
+  /// Runs `n` steps.
+  void run(std::int64_t n);
+
+  std::uint64_t current_step() const { return step_; }
+  const Grid& grid() const { return grid_; }
+  const SimParams& params() const { return params_; }
+  const TimeSeries& history() const { return history_; }
+  double vascular_pool() const { return pool_; }
+
+  /// Full-state XOR digest (see rules::voxel_digest).
+  std::uint64_t state_digest() const;
+
+  /// Snapshot of one voxel's state (test support).
+  VoxelState voxel(VoxelId v) const;
+
+  /// Total T cells currently in tissue (exact integer).
+  std::uint64_t tissue_tcell_count() const;
+
+  /// Binary checkpoint of the full simulation state (parameters, step,
+  /// vascular pool, voxel arrays, history).  load() resumes a run that
+  /// continues bit-identically to the uninterrupted original
+  /// (tests/io_test.cpp).
+  void save(std::ostream& out) const;
+  static ReferenceSim load(std::istream& in);
+
+ private:
+  struct LoadTag {};
+  ReferenceSim(LoadTag, std::istream& in);
+
+  void phase_tcells(StepStats& stats);
+  void phase_epithelial();
+  void phase_concentrations();
+  void phase_reduce(StepStats& stats);
+
+  rules::NeighbourView neighbour_view(const Coord& c) const;
+
+  SimParams params_;
+  Grid grid_;
+  CounterRng rng_;
+  std::uint64_t step_ = 0;
+  double pool_ = 0.0;
+
+  // Struct-of-arrays voxel state (same layout idea as the backends).
+  std::vector<EpiState> epi_state_;
+  std::vector<std::uint32_t> epi_timer_;
+  std::vector<std::uint8_t> tcell_;
+  std::vector<std::uint32_t> tcell_timer_;
+  std::vector<std::uint32_t> tcell_bind_;
+  std::vector<float> virus_;
+  std::vector<float> chem_;
+
+  // Per-step scratch.
+  std::vector<std::uint64_t> bid_move_;
+  std::vector<std::uint64_t> bid_bind_;
+  std::vector<std::uint8_t> occupancy_;  ///< post-aging snapshot
+  std::vector<float> field_tmp_;
+
+  TimeSeries history_;
+};
+
+}  // namespace simcov

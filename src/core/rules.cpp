@@ -1,0 +1,21 @@
+#include "core/rules.hpp"
+
+#include <bit>
+
+namespace simcov::rules {
+
+std::uint64_t voxel_digest(VoxelId v, EpiState state, std::uint32_t epi_timer,
+                           std::uint8_t tcell, std::uint32_t tcell_timer,
+                           std::uint32_t tcell_bind, float virus, float chem) {
+  using rng_detail::mix64;
+  std::uint64_t h = mix64(v ^ 0x6a09e667f3bcc908ULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(state));
+  h = mix64(h ^ epi_timer);
+  h = mix64(h ^ (static_cast<std::uint64_t>(tcell) << 32 | tcell_timer));
+  h = mix64(h ^ tcell_bind);
+  h = mix64(h ^ std::bit_cast<std::uint32_t>(virus));
+  h = mix64(h ^ std::bit_cast<std::uint32_t>(chem));
+  return h;
+}
+
+}  // namespace simcov::rules

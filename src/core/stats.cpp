@@ -1,0 +1,120 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace simcov {
+
+const char* epi_state_name(EpiState s) {
+  switch (s) {
+    case EpiState::kEmpty: return "empty";
+    case EpiState::kHealthy: return "healthy";
+    case EpiState::kIncubating: return "incubating";
+    case EpiState::kExpressing: return "expressing";
+    case EpiState::kApoptotic: return "apoptotic";
+    case EpiState::kDead: return "dead";
+  }
+  return "?";
+}
+
+std::array<double, StepStats::kFlatSize> StepStats::flatten() const {
+  std::array<double, kFlatSize> out{};
+  out[0] = virus_total;
+  out[1] = chem_total;
+  for (int s = 0; s < kNumEpiStates; ++s) {
+    out[static_cast<std::size_t>(2 + s)] =
+        static_cast<double>(epi_counts[static_cast<std::size_t>(s)]);
+  }
+  out[2 + kNumEpiStates] = static_cast<double>(tcells_tissue);
+  out[3 + kNumEpiStates] = static_cast<double>(extravasated);
+  return out;
+}
+
+StepStats StepStats::unflatten(const std::array<double, kFlatSize>& flat) {
+  StepStats st;
+  st.virus_total = flat[0];
+  st.chem_total = flat[1];
+  for (int s = 0; s < kNumEpiStates; ++s) {
+    st.epi_counts[static_cast<std::size_t>(s)] =
+        static_cast<std::uint64_t>(flat[static_cast<std::size_t>(2 + s)] + 0.5);
+  }
+  st.tcells_tissue =
+      static_cast<std::uint64_t>(flat[2 + kNumEpiStates] + 0.5);
+  st.extravasated =
+      static_cast<std::uint64_t>(flat[3 + kNumEpiStates] + 0.5);
+  return st;
+}
+
+std::vector<double> series_virus(const TimeSeries& ts) {
+  std::vector<double> out;
+  out.reserve(ts.size());
+  for (const auto& s : ts) out.push_back(s.virus_total);
+  return out;
+}
+
+std::vector<double> series_tcells(const TimeSeries& ts) {
+  std::vector<double> out;
+  out.reserve(ts.size());
+  for (const auto& s : ts) out.push_back(static_cast<double>(s.tcells_tissue));
+  return out;
+}
+
+std::vector<double> series_apoptotic(const TimeSeries& ts) {
+  std::vector<double> out;
+  out.reserve(ts.size());
+  for (const auto& s : ts) out.push_back(static_cast<double>(s.apoptotic()));
+  return out;
+}
+
+double peak(const std::vector<double>& series) {
+  double p = 0.0;
+  for (double v : series) p = std::max(p, v);
+  return p;
+}
+
+double percent_agreement(double a, double b) {
+  const double denom = std::max(std::abs(a), std::abs(b));
+  if (denom == 0.0) return 100.0;
+  return 100.0 * (1.0 - std::abs(a - b) / denom);
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  if (values.size() < 2) return out;
+  double ss = 0.0;
+  for (double v : values) ss += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  return out;
+}
+
+Envelope envelope(const std::vector<std::vector<double>>& trials) {
+  SIMCOV_REQUIRE(!trials.empty(), "envelope needs at least one trial");
+  const std::size_t n = trials[0].size();
+  for (const auto& t : trials) {
+    SIMCOV_REQUIRE(t.size() == n, "envelope trials differ in length");
+  }
+  Envelope env;
+  env.min.assign(n, 0.0);
+  env.max.assign(n, 0.0);
+  env.mean.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double lo = trials[0][i], hi = trials[0][i], sum = 0.0;
+    for (const auto& t : trials) {
+      lo = std::min(lo, t[i]);
+      hi = std::max(hi, t[i]);
+      sum += t[i];
+    }
+    env.min[i] = lo;
+    env.max[i] = hi;
+    env.mean[i] = sum / static_cast<double>(trials.size());
+  }
+  return env;
+}
+
+}  // namespace simcov

@@ -1,0 +1,77 @@
+#pragma once
+// Per-step aggregate statistics and time-series utilities.
+//
+// SIMCoV logs these aggregates every timestep (total virions, T cells in
+// tissue, epithelial cells per state, ...) to interpret infection dynamics;
+// the correctness evaluation (§4.1, Fig. 5 and Table 2) compares them
+// between backends.  Reducing them every step is also the workload that the
+// fast-reduction optimization (§3.3) targets.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace simcov {
+
+struct StepStats {
+  double virus_total = 0.0;
+  double chem_total = 0.0;
+  std::array<std::uint64_t, kNumEpiStates> epi_counts{};  ///< by EpiState
+  std::uint64_t tcells_tissue = 0;
+  std::uint64_t extravasated = 0;  ///< successes this step
+  double tcells_vascular = 0.0;    ///< pool size (replicated, not reduced)
+
+  std::uint64_t healthy() const {
+    return epi_counts[static_cast<std::size_t>(EpiState::kHealthy)];
+  }
+  std::uint64_t incubating() const {
+    return epi_counts[static_cast<std::size_t>(EpiState::kIncubating)];
+  }
+  std::uint64_t expressing() const {
+    return epi_counts[static_cast<std::size_t>(EpiState::kExpressing)];
+  }
+  std::uint64_t apoptotic() const {
+    return epi_counts[static_cast<std::size_t>(EpiState::kApoptotic)];
+  }
+  std::uint64_t dead() const {
+    return epi_counts[static_cast<std::size_t>(EpiState::kDead)];
+  }
+
+  /// Flattens to doubles for a PGAS reduction; unflatten() reverses.
+  /// Layout: [virus, chem, epi_counts..., tcells_tissue, extravasated].
+  static constexpr std::size_t kFlatSize = 2 + kNumEpiStates + 2;
+  std::array<double, kFlatSize> flatten() const;
+  static StepStats unflatten(const std::array<double, kFlatSize>& flat);
+};
+
+using TimeSeries = std::vector<StepStats>;
+
+/// Extracts one statistic as a series.
+std::vector<double> series_virus(const TimeSeries& ts);
+std::vector<double> series_tcells(const TimeSeries& ts);
+std::vector<double> series_apoptotic(const TimeSeries& ts);
+
+/// Peak (max) of a series; 0 for empty input.
+double peak(const std::vector<double>& series);
+
+/// Percent agreement of two values as reported in Table 2:
+/// 100 * (1 - |a-b| / max(|a|,|b|)); returns 100 when both are 0.
+double percent_agreement(double a, double b);
+
+/// Mean and sample standard deviation of a set of values.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd mean_std(const std::vector<double>& values);
+
+/// Element-wise min/max/mean envelope over multiple trials (Fig. 5's shaded
+/// band).  All series must have equal length.
+struct Envelope {
+  std::vector<double> min, max, mean;
+};
+Envelope envelope(const std::vector<std::vector<double>>& trials);
+
+}  // namespace simcov

@@ -1,0 +1,51 @@
+#pragma once
+// Fundamental SIMCoV types shared by every backend.
+
+#include <cstdint>
+
+namespace simcov {
+
+/// Epithelial cell state machine (§2.2).  Empty voxels model airways /
+/// missing tissue; T cells cannot enter them and nothing grows there.
+enum class EpiState : std::uint8_t {
+  kEmpty = 0,
+  kHealthy = 1,
+  kIncubating = 2,  ///< infected, producing virions, invisible to T cells
+  kExpressing = 3,  ///< infected, producing virions, detectable by T cells
+  kApoptotic = 4,   ///< bound by a T cell, dying
+  kDead = 5,
+};
+
+constexpr int kNumEpiStates = 6;
+
+const char* epi_state_name(EpiState s);
+
+/// Global voxel id: decomposition-independent, used as the RNG entity key so
+/// stochastic decisions do not depend on rank layout.
+using VoxelId = std::uint64_t;
+
+/// Grid coordinates (always non-negative inside the grid; signed so that
+/// ghost/neighbour arithmetic is natural).
+struct Coord {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::int32_t z = 0;
+
+  friend bool operator==(const Coord&, const Coord&) = default;
+};
+
+/// Mutable per-voxel simulation state, struct-of-arrays in every backend.
+/// This struct is used only as a value bundle at API boundaries.
+struct VoxelState {
+  EpiState epi_state = EpiState::kHealthy;
+  std::uint32_t epi_timer = 0;   ///< steps remaining in the current state
+  std::uint8_t tcell = 0;        ///< 1 if a T cell occupies the voxel
+  std::uint32_t tcell_timer = 0; ///< T cell tissue life remaining
+  std::uint32_t tcell_bind = 0;  ///< binding countdown; >0 means bound
+  float virus = 0.0f;            ///< virion concentration in [0,1]
+  float chem = 0.0f;             ///< inflammatory signal in [0,1]
+
+  friend bool operator==(const VoxelState&, const VoxelState&) = default;
+};
+
+}  // namespace simcov

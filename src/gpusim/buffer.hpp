@@ -1,0 +1,97 @@
+#pragma once
+// Device-resident typed buffers.
+//
+// DeviceBuffer<T> models cudaMalloc'd memory: the host can only move data in
+// and out with explicit copies (counted as H2D/D2H traffic) and only while
+// no kernel is running; kernels access elements through GlobalSpan views
+// obtained from their launch context (counted as global-memory traffic).
+
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "util/error.hpp"
+
+namespace simcov::gpusim {
+
+template <typename T>
+class DeviceBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "device memory holds trivially copyable types only");
+
+ public:
+  DeviceBuffer(Device& dev, std::size_t count, T init = T{})
+      : device_(&dev), storage_(count, init) {
+    device_->allocated_bytes_ += count * sizeof(T);
+  }
+
+  ~DeviceBuffer() {
+    if (device_) device_->allocated_bytes_ -= storage_.size() * sizeof(T);
+  }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept
+      : device_(o.device_), storage_(std::move(o.storage_)) {
+    o.device_ = nullptr;
+  }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      if (device_) device_->allocated_bytes_ -= storage_.size() * sizeof(T);
+      device_ = o.device_;
+      storage_ = std::move(o.storage_);
+      o.device_ = nullptr;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  std::size_t size() const { return storage_.size(); }
+  Device& device() const { return *device_; }
+
+  /// Host -> device copy (cudaMemcpyHostToDevice).
+  void copy_from_host(std::span<const T> src, std::size_t dst_offset = 0) {
+    require_host_access("copy_from_host");
+    SIMCOV_REQUIRE(dst_offset + src.size() <= storage_.size(),
+                   "copy_from_host out of bounds");
+    std::memcpy(storage_.data() + dst_offset, src.data(),
+                src.size() * sizeof(T));
+    device_->stats_.h2d_bytes += src.size() * sizeof(T);
+  }
+
+  /// Device -> host copy (cudaMemcpyDeviceToHost).
+  void copy_to_host(std::span<T> dst, std::size_t src_offset = 0) const {
+    require_host_access("copy_to_host");
+    SIMCOV_REQUIRE(src_offset + dst.size() <= storage_.size(),
+                   "copy_to_host out of bounds");
+    std::memcpy(dst.data(), storage_.data() + src_offset,
+                dst.size() * sizeof(T));
+    device_->stats_.d2h_bytes += dst.size() * sizeof(T);
+  }
+
+  /// Device-side fill (cudaMemset-style); counted as global writes.
+  void fill(T value) {
+    require_host_access("fill");
+    for (auto& v : storage_) v = value;
+    device_->stats_.global_write_bytes += storage_.size() * sizeof(T);
+  }
+
+ private:
+  friend class ThreadCtx;
+  friend class BlockCtx;
+
+  void require_host_access(const char* what) const {
+    SIMCOV_REQUIRE(device_ != nullptr, "buffer moved-from");
+    SIMCOV_REQUIRE(!device_->kernel_active(),
+                   std::string(what) + " while a kernel is active");
+  }
+
+  T* raw() { return storage_.data(); }
+  const T* raw() const { return storage_.data(); }
+
+  Device* device_;
+  std::vector<T> storage_;
+};
+
+}  // namespace simcov::gpusim

@@ -1,0 +1,175 @@
+#pragma once
+// A virtual GPU device.
+//
+// SIMCoV-GPU's optimizations (§3) are statements about *access patterns*:
+// how many kernel launches a timestep needs, how much global memory traffic
+// the kernels generate, how many atomic operations the statistics update
+// performs, and how much of the domain the kernels touch at all.  This
+// substrate executes CUDA-shaped kernels (grid of blocks of threads, per-
+// block shared memory with synchronization phases, global-memory views with
+// atomics) semantically faithfully on the host, while counting exactly the
+// events the paper's optimizations target.  The performance model
+// (src/perfmodel) prices those counters as an A100-class device would.
+//
+// Discipline enforced at runtime (tests in tests/gpusim_test.cpp):
+//   * Host code cannot touch device memory except through explicit
+//     copy_to_host / copy_from_host, and only while no kernel is active.
+//   * Kernels access buffers only through GlobalSpan views obtained from
+//     their thread/block context, and only buffers of the same device.
+//   * Shared memory exists per block, is zero-initialized at block start,
+//     and phases separated by sync() see each other's writes (the
+//     __syncthreads model; threads within a phase run sequentially, which
+//     is a legal schedule of a data-race-free CUDA block).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace simcov::gpusim {
+
+/// Event counters, flushed continuously.  Units are bytes for traffic
+/// counters and operation counts otherwise.
+struct DeviceStats {
+  std::uint64_t kernel_launches = 0;
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t threads_executed = 0;
+  std::uint64_t global_read_bytes = 0;
+  std::uint64_t global_write_bytes = 0;
+  std::uint64_t atomic_ops = 0;
+  std::uint64_t shared_bytes_allocated = 0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+
+  DeviceStats& operator+=(const DeviceStats& o) {
+    kernel_launches += o.kernel_launches;
+    blocks_executed += o.blocks_executed;
+    threads_executed += o.threads_executed;
+    global_read_bytes += o.global_read_bytes;
+    global_write_bytes += o.global_write_bytes;
+    atomic_ops += o.atomic_ops;
+    shared_bytes_allocated += o.shared_bytes_allocated;
+    h2d_bytes += o.h2d_bytes;
+    d2h_bytes += o.d2h_bytes;
+    return *this;
+  }
+
+  DeviceStats since(const DeviceStats& snap) const {
+    DeviceStats d;
+    d.kernel_launches = kernel_launches - snap.kernel_launches;
+    d.blocks_executed = blocks_executed - snap.blocks_executed;
+    d.threads_executed = threads_executed - snap.threads_executed;
+    d.global_read_bytes = global_read_bytes - snap.global_read_bytes;
+    d.global_write_bytes = global_write_bytes - snap.global_write_bytes;
+    d.atomic_ops = atomic_ops - snap.atomic_ops;
+    d.shared_bytes_allocated = shared_bytes_allocated - snap.shared_bytes_allocated;
+    d.h2d_bytes = h2d_bytes - snap.h2d_bytes;
+    d.d2h_bytes = d2h_bytes - snap.d2h_bytes;
+    return d;
+  }
+};
+
+struct LaunchConfig {
+  std::uint32_t grid_dim = 1;   ///< number of blocks
+  std::uint32_t block_dim = 1;  ///< threads per block
+
+  std::uint64_t total_threads() const {
+    return static_cast<std::uint64_t>(grid_dim) * block_dim;
+  }
+};
+
+template <typename T>
+class DeviceBuffer;
+class ThreadCtx;
+class BlockCtx;
+
+/// One virtual GPU.  Each PGAS rank owns one Device in SIMCoV-GPU (the
+/// paper runs one process per GPU).
+class Device {
+ public:
+  explicit Device(int id) : id_(id) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  int id() const { return id_; }
+  bool kernel_active() const { return kernel_depth_ > 0; }
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
+
+  DeviceStats& stats() { return stats_; }
+  const DeviceStats& stats() const { return stats_; }
+
+  /// Launches a data-parallel kernel: `body(ThreadCtx&)` runs once per
+  /// thread.  Threads must be independent (no shared memory); use
+  /// launch_blocks for cooperative kernels.
+  template <typename F>
+  void parallel_for(const LaunchConfig& cfg, F&& body);
+
+  /// Launches a cooperative kernel: `body(BlockCtx&)` runs once per block
+  /// and drives its threads in phases (see BlockCtx::for_each_thread).
+  template <typename F>
+  void launch_blocks(const LaunchConfig& cfg, F&& body);
+
+ private:
+  template <typename T>
+  friend class DeviceBuffer;
+  friend class ThreadCtx;
+  friend class BlockCtx;
+
+  void begin_kernel(const LaunchConfig& cfg) {
+    SIMCOV_REQUIRE(cfg.grid_dim > 0 && cfg.block_dim > 0,
+                   "launch config must have positive dimensions");
+    SIMCOV_REQUIRE(cfg.block_dim <= 1024,
+                   "block_dim exceeds 1024 (CUDA hardware limit)");
+    SIMCOV_REQUIRE(kernel_depth_ == 0,
+                   "nested kernel launch (device busy)");
+    ++kernel_depth_;
+    ++stats_.kernel_launches;
+  }
+  void end_kernel() { --kernel_depth_; }
+
+  int id_;
+  int kernel_depth_ = 0;
+  std::size_t allocated_bytes_ = 0;
+  DeviceStats stats_;
+};
+
+}  // namespace simcov::gpusim
+
+#include "gpusim/kernel.hpp"  // IWYU pragma: keep — defines launch bodies
+
+namespace simcov::gpusim {
+
+template <typename F>
+void Device::parallel_for(const LaunchConfig& cfg, F&& body) {
+  begin_kernel(cfg);
+  struct Guard {
+    Device* d;
+    ~Guard() { d->end_kernel(); }
+  } guard{this};
+  for (std::uint32_t b = 0; b < cfg.grid_dim; ++b) {
+    ++stats_.blocks_executed;
+    for (std::uint32_t t = 0; t < cfg.block_dim; ++t) {
+      ++stats_.threads_executed;
+      ThreadCtx ctx(*this, cfg, b, t);
+      body(ctx);
+    }
+  }
+}
+
+template <typename F>
+void Device::launch_blocks(const LaunchConfig& cfg, F&& body) {
+  begin_kernel(cfg);
+  struct Guard {
+    Device* d;
+    ~Guard() { d->end_kernel(); }
+  } guard{this};
+  for (std::uint32_t b = 0; b < cfg.grid_dim; ++b) {
+    ++stats_.blocks_executed;
+    BlockCtx ctx(*this, cfg, b);
+    body(ctx);
+  }
+}
+
+}  // namespace simcov::gpusim

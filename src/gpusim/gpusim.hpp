@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for the virtual-GPU substrate.  Include this, not the
+// individual headers (they have mutual dependencies resolved here).
+
+#include "gpusim/device.hpp"   // IWYU pragma: export
+#include "gpusim/buffer.hpp"   // IWYU pragma: export
+#include "gpusim/kernel.hpp"   // IWYU pragma: export
+#include "gpusim/kernel_impl.hpp"  // IWYU pragma: export

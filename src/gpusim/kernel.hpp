@@ -1,0 +1,145 @@
+#pragma once
+// Kernel-side contexts and global-memory views.
+//
+// ThreadCtx: handed to each thread of a data-parallel kernel (parallel_for).
+// BlockCtx: handed to each block of a cooperative kernel (launch_blocks);
+//   provides per-block shared memory and phased thread execution where
+//   consecutive for_each_thread calls are separated by an implicit
+//   __syncthreads (all writes of phase N visible in phase N+1).
+// GlobalSpan<T>: the only way kernels read/write device buffers; every
+//   access is bounds-checked and counted as global-memory traffic, and
+//   atomic read-modify-writes are counted separately (they are what the
+//   fast-reduction optimization of §3.3 eliminates).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace simcov::gpusim {
+
+class Device;
+struct LaunchConfig;
+struct DeviceStats;
+template <typename T>
+class DeviceBuffer;
+
+/// Kernel-side mutable view of a DeviceBuffer.  Cheap to copy.
+template <typename T>
+class GlobalSpan {
+ public:
+  std::size_t size() const { return size_; }
+
+  T read(std::size_t i) const {
+    SIMCOV_ASSERT(i < size_, "global read out of bounds");
+    *read_bytes_ += sizeof(T);
+    return data_[i];
+  }
+
+  void write(std::size_t i, T value) const {
+    SIMCOV_ASSERT(i < size_, "global write out of bounds");
+    *write_bytes_ += sizeof(T);
+    data_[i] = value;
+  }
+
+  /// atomicAdd: returns the old value.
+  T atomic_add(std::size_t i, T value) const {
+    SIMCOV_ASSERT(i < size_, "atomic out of bounds");
+    ++*atomics_;
+    T old = data_[i];
+    data_[i] = old + value;
+    return old;
+  }
+
+  /// atomicMax: returns the old value.
+  T atomic_max(std::size_t i, T value) const {
+    SIMCOV_ASSERT(i < size_, "atomic out of bounds");
+    ++*atomics_;
+    T old = data_[i];
+    if (value > old) data_[i] = value;
+    return old;
+  }
+
+ private:
+  friend class ThreadCtx;
+  friend class BlockCtx;
+  GlobalSpan(T* data, std::size_t size, std::uint64_t* rd, std::uint64_t* wr,
+             std::uint64_t* at)
+      : data_(data), size_(size), read_bytes_(rd), write_bytes_(wr),
+        atomics_(at) {}
+
+  T* data_;
+  std::size_t size_;
+  std::uint64_t* read_bytes_;
+  std::uint64_t* write_bytes_;
+  std::uint64_t* atomics_;
+};
+
+/// Context of one thread in a data-parallel kernel.
+class ThreadCtx {
+ public:
+  std::uint32_t block_idx() const { return block_idx_; }
+  std::uint32_t thread_idx() const { return thread_idx_; }
+  std::uint32_t block_dim() const { return block_dim_; }
+  std::uint32_t grid_dim() const { return grid_dim_; }
+
+  /// blockIdx.x * blockDim.x + threadIdx.x
+  std::uint64_t global_index() const {
+    return static_cast<std::uint64_t>(block_idx_) * block_dim_ + thread_idx_;
+  }
+  /// Total threads in the launch (for grid-stride loops).
+  std::uint64_t grid_size() const {
+    return static_cast<std::uint64_t>(grid_dim_) * block_dim_;
+  }
+
+  /// Binds a device buffer for kernel-side access.
+  template <typename T>
+  GlobalSpan<T> global(DeviceBuffer<T>& buf) const;
+
+ private:
+  friend class Device;
+  ThreadCtx(Device& d, const LaunchConfig& cfg, std::uint32_t b,
+            std::uint32_t t);
+
+  Device* device_;
+  std::uint32_t block_idx_, thread_idx_, block_dim_, grid_dim_;
+};
+
+/// Context of one block in a cooperative kernel.
+class BlockCtx {
+ public:
+  std::uint32_t block_idx() const { return block_idx_; }
+  std::uint32_t block_dim() const { return block_dim_; }
+  std::uint32_t grid_dim() const { return grid_dim_; }
+
+  /// Allocates a zero-initialized shared array for this block (the
+  /// __shared__ declaration).  Counted toward shared_bytes_allocated.
+  template <typename T>
+  std::span<T> shared(std::size_t count);
+
+  /// Runs `fn(thread_idx)` for every thread of the block.  Consecutive
+  /// calls are separated by an implicit __syncthreads: all effects of call
+  /// N are visible to call N+1.
+  template <typename F>
+  void for_each_thread(F&& fn) {
+    for (std::uint32_t t = 0; t < block_dim_; ++t) fn(t);
+    bump_threads(block_dim_);
+  }
+
+  template <typename T>
+  GlobalSpan<T> global(DeviceBuffer<T>& buf) const;
+
+ private:
+  friend class Device;
+  BlockCtx(Device& d, const LaunchConfig& cfg, std::uint32_t b);
+  void bump_threads(std::uint32_t n);
+
+  Device* device_;
+  std::uint32_t block_idx_, block_dim_, grid_dim_;
+  std::vector<std::unique_ptr<std::vector<std::byte>>> shared_allocs_;
+};
+
+}  // namespace simcov::gpusim

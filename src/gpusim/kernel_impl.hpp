@@ -1,0 +1,58 @@
+#pragma once
+// Out-of-line definitions that need Device and DeviceBuffer complete.
+// Include via gpusim/gpusim.hpp.
+
+#include "gpusim/buffer.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+
+namespace simcov::gpusim {
+
+inline ThreadCtx::ThreadCtx(Device& d, const LaunchConfig& cfg,
+                            std::uint32_t b, std::uint32_t t)
+    : device_(&d), block_idx_(b), thread_idx_(t), block_dim_(cfg.block_dim),
+      grid_dim_(cfg.grid_dim) {}
+
+template <typename T>
+GlobalSpan<T> ThreadCtx::global(DeviceBuffer<T>& buf) const {
+  SIMCOV_REQUIRE(&buf.device() == device_,
+                 "kernel bound a buffer from a different device");
+  DeviceStats& s = device_->stats();
+  return GlobalSpan<T>(buf.raw(), buf.size(), &s.global_read_bytes,
+                       &s.global_write_bytes, &s.atomic_ops);
+}
+
+inline BlockCtx::BlockCtx(Device& d, const LaunchConfig& cfg, std::uint32_t b)
+    : device_(&d), block_idx_(b), block_dim_(cfg.block_dim),
+      grid_dim_(cfg.grid_dim) {}
+
+inline void BlockCtx::bump_threads(std::uint32_t n) {
+  device_->stats().threads_executed += n;
+}
+
+template <typename T>
+std::span<T> BlockCtx::shared(std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shared memory holds trivially copyable types only");
+  const std::size_t bytes = count * sizeof(T);
+  // 164 KiB: A100 maximum shared memory per block.
+  std::size_t in_use = bytes;
+  for (const auto& a : shared_allocs_) in_use += a->size();
+  SIMCOV_REQUIRE(in_use <= 164 * 1024,
+                 "shared memory request exceeds per-block capacity");
+  shared_allocs_.push_back(
+      std::make_unique<std::vector<std::byte>>(bytes, std::byte{0}));
+  device_->stats().shared_bytes_allocated += bytes;
+  return {reinterpret_cast<T*>(shared_allocs_.back()->data()), count};
+}
+
+template <typename T>
+GlobalSpan<T> BlockCtx::global(DeviceBuffer<T>& buf) const {
+  SIMCOV_REQUIRE(&buf.device() == device_,
+                 "kernel bound a buffer from a different device");
+  DeviceStats& s = device_->stats();
+  return GlobalSpan<T>(buf.raw(), buf.size(), &s.global_read_bytes,
+                       &s.global_write_bytes, &s.atomic_ops);
+}
+
+}  // namespace simcov::gpusim

@@ -1,0 +1,54 @@
+#include "harness/experiment.hpp"
+
+#include "core/grid.hpp"
+#include "core/reference_sim.hpp"
+#include "util/error.hpp"
+
+namespace simcov::harness {
+
+std::vector<VoxelId> RunSpec::resolve_foi() const {
+  if (!foi.empty()) return foi;
+  const Grid grid(params.dim_x, params.dim_y, params.dim_z);
+  return foi_uniform_random(grid, params.num_foi, params.seed);
+}
+
+BackendResult run_reference(const RunSpec& spec) {
+  ReferenceSim sim(spec.params, spec.resolve_foi());
+  sim.run(spec.params.num_steps);
+  BackendResult out;
+  out.history = sim.history();
+  return out;
+}
+
+BackendResult run_cpu(const RunSpec& spec, int cpu_ranks) {
+  cpu::CpuSimOptions opt;
+  opt.num_ranks = cpu_ranks;
+  opt.area_scale = spec.area_scale;
+  cpu::CpuRunResult r = cpu::run_cpu_sim(spec.params, spec.resolve_foi(), opt);
+  BackendResult out;
+  out.history = std::move(r.history);
+  out.cost = r.cost;
+  out.modeled_seconds = r.cost.total_s;
+  return out;
+}
+
+BackendResult run_gpu(const RunSpec& spec, int gpu_ranks,
+                      gpu::GpuVariant variant) {
+  gpu::GpuSimOptions opt;
+  opt.num_ranks = gpu_ranks;
+  opt.variant = variant;
+  opt.area_scale = spec.area_scale;
+  gpu::GpuRunResult r = gpu::run_gpu_sim(spec.params, spec.resolve_foi(), opt);
+  BackendResult out;
+  out.history = std::move(r.history);
+  out.cost = r.cost;
+  out.modeled_seconds = r.cost.total_s;
+  return out;
+}
+
+double speedup(const BackendResult& cpu, const BackendResult& gpu) {
+  SIMCOV_REQUIRE(gpu.modeled_seconds > 0.0, "GPU runtime is zero");
+  return cpu.modeled_seconds / gpu.modeled_seconds;
+}
+
+}  // namespace simcov::harness

@@ -1,0 +1,57 @@
+#pragma once
+// Experiment harness: uniform entry points the benchmark binaries use to
+// regenerate the paper's tables and figures.
+//
+// A RunSpec describes one simulation configuration (grid, steps, FOI, seed,
+// and the area-scale factor mapping our scaled-down grid to the paper's);
+// run_cpu / run_gpu execute it on the requested backend with the requested
+// resources and return both the scientific output (time series) and the
+// modeled runtime from the performance model.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/foi.hpp"
+#include "core/params.hpp"
+#include "core/stats.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "simcov_cpu/cpu_sim.hpp"
+#include "simcov_gpu/gpu_sim.hpp"
+
+namespace simcov::harness {
+
+struct RunSpec {
+  SimParams params;
+  /// Explicit FOI voxels; when empty, params.num_foi uniform-random seeds
+  /// (keyed by params.seed) are generated.
+  std::vector<VoxelId> foi;
+  /// Modeled-time extrapolation factor: paper-scale voxels / our voxels.
+  double area_scale = 1.0;
+
+  std::vector<VoxelId> resolve_foi() const;
+};
+
+struct BackendResult {
+  TimeSeries history;
+  perfmodel::RunCost cost;
+  double modeled_seconds = 0.0;  ///< == cost.total_s
+};
+
+/// Serial reference run (no cost model; correctness baseline).
+BackendResult run_reference(const RunSpec& spec);
+
+/// SIMCoV-CPU with `cpu_ranks` ranks (one per modeled core).
+BackendResult run_cpu(const RunSpec& spec, int cpu_ranks);
+
+/// SIMCoV-GPU with `gpu_ranks` virtual GPUs and the given variant.
+BackendResult run_gpu(const RunSpec& spec, int gpu_ranks,
+                      gpu::GpuVariant variant = gpu::GpuVariant::combined());
+
+/// The paper's resource tuples pair G GPUs with 32*G CPU cores.
+constexpr int cpus_for_gpus(int gpus) { return 32 * gpus; }
+
+/// Formats a speedup annotation as in Figs. 6-8 (CPU runtime / GPU runtime).
+double speedup(const BackendResult& cpu, const BackendResult& gpu);
+
+}  // namespace simcov::harness

@@ -1,0 +1,104 @@
+#include "io/snapshot.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/grid.hpp"
+#include "util/error.hpp"
+
+namespace simcov::io {
+
+namespace {
+
+std::uint8_t scale(float value, float max_value) {
+  const float t = std::clamp(value / max_value, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(t * 255.0f);
+}
+
+}  // namespace
+
+Image render_state(const ReferenceSim& sim, std::int32_t z_slice) {
+  const Grid& grid = sim.grid();
+  SIMCOV_REQUIRE(z_slice >= 0 && z_slice < grid.dim_z(),
+                 "z slice out of range");
+  Image img;
+  img.width = grid.dim_x();
+  img.height = grid.dim_y();
+  img.rgb.assign(3u * static_cast<std::size_t>(img.width) * img.height, 0);
+  for (std::int32_t y = 0; y < img.height; ++y) {
+    for (std::int32_t x = 0; x < img.width; ++x) {
+      const VoxelState v = sim.voxel(grid.to_id({x, y, z_slice}));
+      std::uint8_t* px = img.pixel(x, y);
+      switch (v.epi_state) {
+        case EpiState::kEmpty:  // airway lumen
+          px[0] = px[1] = px[2] = 0;
+          break;
+        case EpiState::kHealthy: {
+          // Light tissue, tinted by virion load.
+          const std::uint8_t vir = scale(v.virus, 0.5f);
+          px[0] = 230;
+          px[1] = static_cast<std::uint8_t>(230 - vir / 2);
+          px[2] = static_cast<std::uint8_t>(230 - vir / 2);
+          break;
+        }
+        case EpiState::kIncubating:
+          px[0] = 120; px[1] = 120; px[2] = 220;
+          break;
+        case EpiState::kExpressing:  // blue (paper Fig. 1A)
+          px[0] = 40; px[1] = 40; px[2] = 255;
+          break;
+        case EpiState::kApoptotic:  // red
+          px[0] = 255; px[1] = 40; px[2] = 40;
+          break;
+        case EpiState::kDead:
+          px[0] = px[1] = px[2] = 90;
+          break;
+      }
+      if (v.tcell) {  // green overlay
+        px[0] = 30; px[1] = 220; px[2] = 60;
+      }
+    }
+  }
+  return img;
+}
+
+void write_ppm(const std::string& path, const Image& image) {
+  SIMCOV_REQUIRE(image.width > 0 && image.height > 0, "empty image");
+  std::ofstream out(path, std::ios::binary);
+  SIMCOV_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << "P6\n" << image.width << " " << image.height << "\n255\n";
+  out.write(reinterpret_cast<const char*>(image.rgb.data()),
+            static_cast<std::streamsize>(image.rgb.size()));
+  SIMCOV_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+void write_series_csv(const std::string& path, const TimeSeries& series) {
+  std::ofstream out(path);
+  SIMCOV_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  out << "step,virus,chem,empty,healthy,incubating,expressing,apoptotic,"
+         "dead,tcells_tissue,tcells_vascular,extravasated\n";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const StepStats& s = series[i];
+    out << i + 1 << ',' << s.virus_total << ',' << s.chem_total;
+    for (int e = 0; e < kNumEpiStates; ++e) {
+      out << ',' << s.epi_counts[static_cast<std::size_t>(e)];
+    }
+    out << ',' << s.tcells_tissue << ',' << s.tcells_vascular << ','
+        << s.extravasated << '\n';
+  }
+  SIMCOV_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+void save_checkpoint(const std::string& path, const ReferenceSim& sim) {
+  std::ofstream out(path, std::ios::binary);
+  SIMCOV_REQUIRE(out.good(), "cannot open '" + path + "' for writing");
+  sim.save(out);
+}
+
+ReferenceSim load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  SIMCOV_REQUIRE(in.good(), "cannot open checkpoint '" + path + "'");
+  return ReferenceSim::load(in);
+}
+
+}  // namespace simcov::io

@@ -1,0 +1,44 @@
+#pragma once
+// Simulation output: PPM frame rendering (the paper's Fig. 1A-style view of
+// spreading damage: epithelial states + T cells + fields), CSV time series,
+// and checkpoint file helpers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/reference_sim.hpp"
+#include "core/stats.hpp"
+
+namespace simcov::io {
+
+/// A simple 8-bit RGB raster.
+struct Image {
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::vector<std::uint8_t> rgb;  ///< 3 bytes per pixel, row-major
+
+  std::uint8_t* pixel(std::int32_t x, std::int32_t y) {
+    return rgb.data() + 3 * (static_cast<std::size_t>(y) * width + x);
+  }
+  const std::uint8_t* pixel(std::int32_t x, std::int32_t y) const {
+    return rgb.data() + 3 * (static_cast<std::size_t>(y) * width + x);
+  }
+};
+
+/// Renders the z = `z_slice` plane of the simulation: airway voxels black,
+/// healthy tissue light, incubating/expressing blue, apoptotic red, dead
+/// grey; T cells overlay green; virus level tints the background.
+Image render_state(const ReferenceSim& sim, std::int32_t z_slice = 0);
+
+/// Writes a binary PPM (P6).  Throws on I/O failure.
+void write_ppm(const std::string& path, const Image& image);
+
+/// Writes the time series as CSV with a header row.
+void write_series_csv(const std::string& path, const TimeSeries& series);
+
+/// Saves / loads a checkpoint file (see ReferenceSim::save/load).
+void save_checkpoint(const std::string& path, const ReferenceSim& sim);
+ReferenceSim load_checkpoint(const std::string& path);
+
+}  // namespace simcov::io

@@ -1,0 +1,48 @@
+#pragma once
+// Per-rank communication counters.
+//
+// The performance model (src/perfmodel) prices communication from these
+// counters: RPC count/bytes for the CPU baseline's tiebreak traffic, bulk
+// copy count/bytes for the GPU version's halo exchanges, and collective
+// counts for the per-step statistics reductions.  Counting happens at the
+// PGAS layer so neither simulation backend can forget to report traffic.
+
+#include <cstdint>
+
+namespace simcov::pgas {
+
+struct CommStats {
+  std::uint64_t rpcs_sent = 0;     ///< remote procedure calls issued
+  std::uint64_t rpc_bytes = 0;     ///< approximate payload bytes of RPCs
+  std::uint64_t puts = 0;          ///< bulk one-sided copies issued
+  std::uint64_t put_bytes = 0;     ///< bytes moved by bulk copies
+  std::uint64_t barriers = 0;      ///< barrier participations
+  std::uint64_t reductions = 0;    ///< collective reductions participated in
+  std::uint64_t reduction_bytes = 0; ///< bytes contributed to reductions
+
+  CommStats& operator+=(const CommStats& o) {
+    rpcs_sent += o.rpcs_sent;
+    rpc_bytes += o.rpc_bytes;
+    puts += o.puts;
+    put_bytes += o.put_bytes;
+    barriers += o.barriers;
+    reductions += o.reductions;
+    reduction_bytes += o.reduction_bytes;
+    return *this;
+  }
+
+  /// Difference since a snapshot (used for per-step accounting).
+  CommStats since(const CommStats& snapshot) const {
+    CommStats d;
+    d.rpcs_sent = rpcs_sent - snapshot.rpcs_sent;
+    d.rpc_bytes = rpc_bytes - snapshot.rpc_bytes;
+    d.puts = puts - snapshot.puts;
+    d.put_bytes = put_bytes - snapshot.put_bytes;
+    d.barriers = barriers - snapshot.barriers;
+    d.reductions = reductions - snapshot.reductions;
+    d.reduction_bytes = reduction_bytes - snapshot.reduction_bytes;
+    return d;
+  }
+};
+
+}  // namespace simcov::pgas

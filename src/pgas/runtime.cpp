@@ -1,0 +1,218 @@
+#include "pgas/runtime.hpp"
+
+#include <bit>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace simcov::pgas {
+
+// ---------------------------------------------------------------------------
+// Rank
+// ---------------------------------------------------------------------------
+
+int Rank::world_size() const { return runtime_.num_ranks_; }
+
+void Rank::barrier() {
+  ++stats_.barriers;
+  runtime_.barrier_->arrive_and_wait();
+}
+
+void Rank::rpc(RankId target, std::function<void()> fn,
+               std::size_t approx_bytes) {
+  SIMCOV_REQUIRE(target >= 0 && target < world_size(),
+                 "rpc target rank out of range");
+  ++stats_.rpcs_sent;
+  stats_.rpc_bytes += approx_bytes;
+  Rank& t = *runtime_.ranks_[static_cast<std::size_t>(target)];
+  std::lock_guard<std::mutex> lock(t.rpc_mutex_);
+  t.rpc_queue_.push_back(std::move(fn));
+}
+
+void Rank::progress() {
+  // Drain in arrival order.  RPCs may themselves enqueue follow-up RPCs to
+  // *other* ranks; RPCs targeted at this rank from inside progress() are
+  // picked up by the loop as well (queue is re-checked).
+  for (;;) {
+    std::vector<std::function<void()>> batch;
+    {
+      std::lock_guard<std::mutex> lock(rpc_mutex_);
+      batch.swap(rpc_queue_);
+    }
+    if (batch.empty()) break;
+    for (auto& fn : batch) fn();
+  }
+}
+
+void Rank::rpc_quiescence() {
+  barrier();
+  progress();
+  barrier();
+}
+
+std::vector<double> Rank::allreduce_sum(std::span<const double> values) {
+  ++stats_.reductions;
+  stats_.reduction_bytes += values.size_bytes();
+  auto& slots = runtime_.collective_slots_;
+  auto& mine = slots[static_cast<std::size_t>(id_)];
+  mine.assign(values.begin(), values.end());
+  barrier();
+  std::vector<double> out(values.size(), 0.0);
+  for (int r = 0; r < world_size(); ++r) {
+    const auto& slot = slots[static_cast<std::size_t>(r)];
+    SIMCOV_REQUIRE(slot.size() == values.size(),
+                   "allreduce called with mismatched lengths across ranks");
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += slot[i];
+  }
+  barrier();  // all ranks done reading before slots are reused
+  return out;
+}
+
+double Rank::allreduce_sum(double value) {
+  return allreduce_sum(std::span<const double>(&value, 1))[0];
+}
+
+std::uint64_t Rank::allreduce_sum(std::uint64_t value) {
+  // Counts in SIMCoV are bounded well below 2^53, so a double-backed sum is
+  // exact; enforce the precondition instead of silently losing bits.
+  SIMCOV_REQUIRE(value < (1ULL << 53), "allreduce_sum(u64) value too large");
+  return static_cast<std::uint64_t>(allreduce_sum(static_cast<double>(value)));
+}
+
+std::uint64_t Rank::allreduce_max(std::uint64_t value) {
+  ++stats_.reductions;
+  stats_.reduction_bytes += sizeof(value);
+  auto& slots = runtime_.collective_slots_;
+  // Full 64-bit values (bids) must survive intact: pass the bit pattern.
+  slots[static_cast<std::size_t>(id_)].assign(
+      1, std::bit_cast<double>(value));
+  barrier();
+  std::uint64_t out = 0;
+  for (int r = 0; r < world_size(); ++r) {
+    const auto& slot = slots[static_cast<std::size_t>(r)];
+    SIMCOV_REQUIRE(slot.size() == 1, "allreduce_max shape mismatch");
+    out = std::max(out, std::bit_cast<std::uint64_t>(slot[0]));
+  }
+  barrier();
+  return out;
+}
+
+std::uint64_t Rank::allreduce_xor(std::uint64_t value) {
+  ++stats_.reductions;
+  stats_.reduction_bytes += sizeof(value);
+  auto& slots = runtime_.collective_slots_;
+  slots[static_cast<std::size_t>(id_)].assign(1, std::bit_cast<double>(value));
+  barrier();
+  std::uint64_t out = 0;
+  for (int r = 0; r < world_size(); ++r) {
+    const auto& slot = slots[static_cast<std::size_t>(r)];
+    SIMCOV_REQUIRE(slot.size() == 1, "allreduce_xor shape mismatch");
+    out ^= std::bit_cast<std::uint64_t>(slot[0]);
+  }
+  barrier();
+  return out;
+}
+
+void Rank::register_channel(int chan, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(channel_mutex_);
+  auto [it, inserted] = channels_.try_emplace(chan);
+  it->second.assign(bytes, std::byte{0});
+  (void)inserted;
+}
+
+void Rank::put(RankId target, int chan, std::span<const std::byte> data,
+               std::size_t offset) {
+  SIMCOV_REQUIRE(target >= 0 && target < world_size(),
+                 "put target rank out of range");
+  ++stats_.puts;
+  stats_.put_bytes += data.size();
+  Rank& t = *runtime_.ranks_[static_cast<std::size_t>(target)];
+  std::lock_guard<std::mutex> lock(t.channel_mutex_);
+  auto it = t.channels_.find(chan);
+  SIMCOV_REQUIRE(it != t.channels_.end(),
+                 "put into unregistered channel " + std::to_string(chan) +
+                     " on rank " + std::to_string(target));
+  SIMCOV_REQUIRE(offset + data.size() <= it->second.size(),
+                 "put overflows channel " + std::to_string(chan) + " (" +
+                     std::to_string(offset + data.size()) + " > " +
+                     std::to_string(it->second.size()) + " bytes)");
+  std::memcpy(it->second.data() + offset, data.data(), data.size());
+}
+
+std::span<const std::byte> Rank::channel(int chan) const {
+  auto it = channels_.find(chan);
+  SIMCOV_REQUIRE(it != channels_.end(),
+                 "reading unregistered channel " + std::to_string(chan));
+  return {it->second.data(), it->second.size()};
+}
+
+std::span<std::byte> Rank::channel_mutable(int chan) {
+  auto it = channels_.find(chan);
+  SIMCOV_REQUIRE(it != channels_.end(),
+                 "reading unregistered channel " + std::to_string(chan));
+  return {it->second.data(), it->second.size()};
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(int num_ranks) : num_ranks_(num_ranks) {
+  SIMCOV_REQUIRE(num_ranks >= 1, "runtime needs at least one rank");
+  SIMCOV_REQUIRE(num_ranks <= 4096, "unreasonable rank count");
+  barrier_ = std::make_unique<std::barrier<>>(num_ranks);
+  collective_slots_.resize(static_cast<std::size_t>(num_ranks));
+  last_stats_.resize(static_cast<std::size_t>(num_ranks));
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(Rank&)>& fn) {
+  // Fresh Rank objects per job: clean RPC queues, channels and counters.
+  ranks_.clear();
+  for (int r = 0; r < num_ranks_; ++r) {
+    // make_unique cannot reach the private constructor; ownership is taken
+    // by the unique_ptr in the same expression.
+    ranks_.emplace_back(std::unique_ptr<Rank>(new Rank(*this, r)));
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(num_ranks_));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks_));
+  for (int r = 0; r < num_ranks_; ++r) {
+    threads.emplace_back([this, r, &fn, &errors] {
+      try {
+        fn(*ranks_[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // A rank that dies stops participating in barriers; drop the team
+        // barrier for the remaining ranks by arriving on its behalf would
+        // hide bugs, so instead we simply record and let join() proceed —
+        // SPMD code in this repo throws only before entering the
+        // bulk-synchronous phase (config validation), which tests rely on.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < num_ranks_; ++r) {
+    last_stats_[static_cast<std::size_t>(r)] =
+        ranks_[static_cast<std::size_t>(r)]->stats();
+  }
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+CommStats Runtime::total_stats() const {
+  CommStats total;
+  for (const auto& s : last_stats_) total += s;
+  return total;
+}
+
+const CommStats& Runtime::rank_stats(RankId r) const {
+  SIMCOV_REQUIRE(r >= 0 && r < num_ranks_, "rank id out of range");
+  return last_stats_[static_cast<std::size_t>(r)];
+}
+
+}  // namespace simcov::pgas

@@ -1,0 +1,145 @@
+#pragma once
+// A UPC++-like PGAS runtime, rank-per-thread.
+//
+// The original SIMCoV uses UPC++ [Bachan et al., IPDPS'19] for interprocess
+// communication: asynchronous remote procedure calls (RPCs), barriers,
+// collective reductions, and (in SIMCoV-GPU) direct device-to-device bulk
+// copies.  This substrate provides the same primitives with the same
+// bulk-synchronous usage discipline, executing every rank as a std::thread
+// inside one process.  It is a real working runtime (all synchronization is
+// implemented, misuse is detected), not a mock; the only difference from
+// UPC++ is that "remote" memory lives in the same address space, which is
+// why every primitive also *counts* its traffic (see CommStats) for the
+// performance model to price as network communication.
+//
+// Usage discipline (matches how SIMCoV uses UPC++):
+//   * RPCs are enqueued on the target and run only when the target calls
+//     progress().  `rpc_quiescence()` = barrier, drain, barrier — the
+//     pattern SIMCoV-CPU uses between simulation phases.
+//   * Bulk puts land in pre-registered channels on the target; targets read
+//     channels only after a barrier (halo-exchange discipline).
+//   * Collectives are barrier-based with a deterministic rank-order combine,
+//     so reductions are bitwise reproducible run-to-run.
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "pgas/comm_stats.hpp"
+
+namespace simcov::pgas {
+
+using RankId = int;
+
+class Runtime;
+
+/// Handle given to each rank's SPMD function.  Not copyable; a Rank is valid
+/// only for the duration of Runtime::run().
+class Rank {
+ public:
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  RankId id() const { return id_; }
+  int world_size() const;
+
+  /// Blocks until every rank reaches the barrier.
+  void barrier();
+
+  /// Enqueues `fn` to execute on rank `target` during its next progress().
+  /// `approx_bytes` is the modeled payload size for the cost model.
+  void rpc(RankId target, std::function<void()> fn,
+           std::size_t approx_bytes = 64);
+
+  /// Runs all RPCs queued for this rank (in arrival order).
+  void progress();
+
+  /// barrier(); progress(); barrier() — guarantees every RPC issued before
+  /// the call has executed on its target when the call returns.
+  void rpc_quiescence();
+
+  /// Collective reductions over all ranks.  Every rank must call with the
+  /// same shape; results are identical on all ranks (rank-order combine).
+  double allreduce_sum(double value);
+  std::uint64_t allreduce_sum(std::uint64_t value);
+  std::uint64_t allreduce_max(std::uint64_t value);
+  std::uint64_t allreduce_xor(std::uint64_t value);
+  /// Element-wise sum of equal-length vectors (statistics reductions).
+  std::vector<double> allreduce_sum(std::span<const double> values);
+
+  /// Registers a landing zone `channel` of `bytes` bytes on this rank.
+  /// Peers put() into it; this rank reads it after a barrier.
+  void register_channel(int channel, std::size_t bytes);
+
+  /// One-sided bulk copy into `target`'s channel at byte offset `offset`.
+  /// The caller must have barrier-separated this put from the target's
+  /// reads; size/bounds misuse throws.
+  void put(RankId target, int channel, std::span<const std::byte> data,
+           std::size_t offset = 0);
+
+  /// This rank's view of its own channel (read after the exchange barrier).
+  std::span<const std::byte> channel(int channel) const;
+  std::span<std::byte> channel_mutable(int channel);
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class Runtime;
+  Rank(Runtime& rt, RankId id) : runtime_(rt), id_(id) {}
+
+  Runtime& runtime_;
+  RankId id_;
+  CommStats stats_;
+
+  std::mutex rpc_mutex_;
+  std::vector<std::function<void()>> rpc_queue_;
+
+  std::mutex channel_mutex_;
+  std::map<int, std::vector<std::byte>> channels_;
+};
+
+/// Owns the rank team.  Construct with the rank count, then call run() with
+/// the SPMD function; run() may be called repeatedly (each call is a fresh
+/// "job" on the same team size).
+class Runtime {
+ public:
+  explicit Runtime(int num_ranks);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int num_ranks() const { return num_ranks_; }
+
+  /// Executes `fn(rank)` on every rank in its own thread and joins.  If any
+  /// rank throws, the first exception (by rank id) is rethrown here after
+  /// all threads have been joined.
+  void run(const std::function<void(Rank&)>& fn);
+
+  /// Sum of all ranks' counters from the most recent run().
+  CommStats total_stats() const;
+  /// Per-rank counters from the most recent run().
+  const CommStats& rank_stats(RankId r) const;
+
+ private:
+  friend class Rank;
+
+  int num_ranks_;
+  std::unique_ptr<std::barrier<>> barrier_;
+
+  // Collective scratch: one slot per rank plus a generation-checked combine.
+  std::mutex collective_mutex_;
+  std::vector<std::vector<double>> collective_slots_;
+
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::vector<CommStats> last_stats_;
+};
+
+}  // namespace simcov::pgas

@@ -1,0 +1,51 @@
+#pragma once
+// SIMCoV-CPU: the baseline parallel implementation (paper §2.2, §4).
+//
+// One PGAS rank per CPU core (the original runs one UPC++ process per
+// core).  Each rank owns a sub-domain with a one-voxel ghost ring, tracks an
+// *active list* of voxels that can possibly change, resolves T cell spatial
+// competition with RPC round-trips to the voxel owner (bid + reply), and
+// exchanges concentration boundary strips with bulk copies.  Statistics are
+// reduced every step with a UPC++-style collective.
+//
+// The implementation reproduces the serial reference bit-for-bit for any
+// rank count and decomposition (tests/equivalence_test.cpp); its
+// communication and work counters feed the performance model.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "core/params.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "perfmodel/cost_model.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace simcov::cpu {
+
+struct CpuSimOptions {
+  int num_ranks = 4;
+  Decomposition::Kind decomp = Decomposition::Kind::kBlock2D;
+  bool record_digests = false;  ///< per-step full-state digests (tests)
+  perfmodel::MachineSpec machine = perfmodel::MachineSpec::perlmutter_like();
+  /// Modeled-time extrapolation to paper-scale grids (see CostModel).
+  double area_scale = 1.0;
+};
+
+struct CpuRunResult {
+  TimeSeries history;                       ///< reduced stats per step
+  std::vector<std::uint64_t> digests;       ///< per step, if recorded
+  perfmodel::RunCost cost;                  ///< modeled bulk-synchronous time
+  std::uint64_t total_rpcs = 0;
+  std::uint64_t total_put_bytes = 0;
+};
+
+/// Runs the full simulation SPMD over options.num_ranks ranks and returns
+/// the reduced history plus modeled cost.
+CpuRunResult run_cpu_sim(const SimParams& params,
+                         const std::vector<VoxelId>& foi,
+                         const CpuSimOptions& options,
+                         const std::vector<VoxelId>& empty_voxels = {});
+
+}  // namespace simcov::cpu

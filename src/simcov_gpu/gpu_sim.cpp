@@ -1,0 +1,1037 @@
+#include "simcov_gpu/gpu_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+#include <span>
+
+#include "core/grid.hpp"
+#include "core/rules.hpp"
+#include "gpusim/gpusim.hpp"
+#include "pgas/runtime.hpp"
+#include "simcov_gpu/layout.hpp"
+#include "simcov_gpu/tiles.hpp"
+#include "util/error.hpp"
+
+namespace simcov::gpu {
+
+namespace {
+
+using gpusim::Device;
+using gpusim::DeviceBuffer;
+using gpusim::LaunchConfig;
+
+constexpr bool transient_epi(EpiState s) {
+  return s == EpiState::kIncubating || s == EpiState::kExpressing ||
+         s == EpiState::kApoptotic;
+}
+
+/// Modeled locality penalty of the untiled layout (§3.2/§3.4): without
+/// memory tiling the reduction and update kernels stream voxel records that
+/// span distant SoA rows, which the paper observes as slower reductions.
+constexpr double kUntiledMemPenalty = 1.6;
+
+/// Halo payload kinds.  Channel id = face * 16 + payload.
+enum Payload : int {
+  kPIntentKind = 0,
+  kPIntentTarget,
+  kPIntentBid,
+  kPIntentTimer,
+  kPBidMove,   ///< bid contributions / merged winners (move competition)
+  kPBidBind,   ///< same for binding competition
+  kPTmp,
+  kPEpi,
+  kPTcell,
+  kPTcellTimer,
+  kPTcellBind,
+  kPVirus,
+  kPChem,
+  kNumPayloads
+};
+constexpr int channel_of(int face, int payload) { return face * 16 + payload; }
+
+enum class StripSide { kBoundary, kGhost };
+enum class MergeMode { kOverwrite, kMax };
+
+/// Device-side statistics slots (§3.3): [virus, chem, epi x6, tcells].
+constexpr std::size_t kNumDevStats = 2 + kNumEpiStates + 1;
+
+class GpuRank {
+ public:
+  GpuRank(pgas::Rank& rank, const SimParams& params, const Decomposition& dec,
+          const std::vector<VoxelId>& foi,
+          const std::vector<VoxelId>& empties, const GpuVariant& variant,
+          const perfmodel::CostModel& model)
+      : rank_(rank), params_(params),
+        grid_(params.dim_x, params.dim_y, params.dim_z),
+        sub_(dec.sub(rank.id())), rng_(params.seed), variant_(variant),
+        lay_(sub_.extent.x, sub_.extent.y, params.tile_side),
+        tiles_(lay_, variant.memory_tiling), dev_(rank.id()),
+        cost_log_(model),
+        // Device allocations: full padded layout per field.
+        epi_state_(dev_, lay_.size(), static_cast<std::uint8_t>(EpiState::kEmpty)),
+        epi_timer_(dev_, lay_.size(), 0),
+        tcell_(dev_, lay_.size(), 0),
+        tcell_timer_(dev_, lay_.size(), 0),
+        tcell_bind_(dev_, lay_.size(), 0),
+        virus_(dev_, lay_.size(), 0.0f),
+        chem_(dev_, lay_.size(), 0.0f),
+        tmp_(dev_, lay_.size(), 0.0f),
+        occupancy_(dev_, lay_.size(), 0),
+        eligible_(dev_, lay_.size(), 0),
+        intent_kind_(dev_, lay_.size(), 0),
+        intent_target_(dev_, lay_.size(), 0),
+        intent_bid_(dev_, lay_.size(), 0),
+        intent_timer_(dev_, lay_.size(), 0),
+        bid_move_(dev_, lay_.size(), 0),
+        bid_bind_(dev_, lay_.size(), 0),
+        active_tiles_dev_(dev_, static_cast<std::size_t>(lay_.num_tiles()), 0),
+        sweep_flags_(dev_, static_cast<std::size_t>(lay_.num_tiles()), 0),
+        stats_dev_(dev_, kNumDevStats, 0.0),
+        extrav_dev_(dev_, 1, 0),
+        stage_u8_(dev_, stage_len(), 0),
+        stage_u32_(dev_, stage_len(), 0),
+        stage_u64_(dev_, stage_len(), 0),
+        stage_f32_(dev_, stage_len(), 0.0f) {
+    SIMCOV_REQUIRE(params_.dim_z == 1,
+                   "the parallel backends support 2D simulations");
+    w_ = sub_.extent.x;
+    h_ = sub_.extent.y;
+    // Tree reduction needs a power-of-two block.
+    reduce_block_ = std::bit_floor(static_cast<unsigned>(params_.block_dim));
+
+    upload_initial_state(foi, empties);
+    register_channels();
+  }
+
+  GpuRank(const GpuRank&) = delete;
+  GpuRank& operator=(const GpuRank&) = delete;
+
+  void initialize() {
+    exchange_state_halo();
+    run_tile_sweep();  // initial activation from the FOI seeds
+  }
+
+  void step() {
+    StepStats stats;
+    snapshot_counters();
+
+    // ---- T cell kernels (Fig. 2) ------------------------------------------
+    k_clear_bids();
+    k_age_and_occupancy();
+    k_ghost_occupancy();
+    k_intents();
+    record_phase(perfmodel::Phase::kTCells);
+
+    wave_bids();  // "Copy To Ghost Voxels" between Assign Winners / Set Flips
+    record_phase(perfmodel::Phase::kHalo);
+
+    k_moves_own();
+    k_moves_entrants();
+    k_binds_own();
+    k_binds_ghost();
+    k_extravasation();
+    record_phase(perfmodel::Phase::kTCells);
+
+    // ---- epithelial FSM -----------------------------------------------------
+    k_epithelial();
+    record_phase(perfmodel::Phase::kEpithelial);
+
+    // ---- concentration fields ------------------------------------------------
+    field_pass(virus_, /*virus=*/true);
+    field_pass(chem_, /*virus=*/false);
+    record_phase(perfmodel::Phase::kConcentrations);
+
+    // ---- periodic active-tile sweep (§3.2) -------------------------------------
+    if (variant_.memory_tiling &&
+        (step_ + 1) % static_cast<std::uint64_t>(params_.tile_check_period) ==
+            0) {
+      run_tile_sweep();
+      record_phase(perfmodel::Phase::kTileSweep);
+    }
+
+    // ---- end-of-step state halo ---------------------------------------------------
+    exchange_state_halo();
+    record_phase(perfmodel::Phase::kHalo);
+
+    // ---- statistics reduction (§3.3) ---------------------------------------------
+    reduce_stats(stats);
+    record_phase(perfmodel::Phase::kReduceStats);
+
+    cost_log_.end_step();
+    history_.push_back(stats);
+    ++step_;
+  }
+
+  std::uint64_t local_digest() {
+    // Test support: pull the full state to the host and fold the canonical
+    // per-voxel digest over owned voxels.
+    const std::size_t n = lay_.size();
+    std::vector<std::uint8_t> epi(n), tc(n);
+    std::vector<std::uint32_t> et(n), tt(n), tb(n);
+    std::vector<float> vv(n), cc(n);
+    epi_state_.copy_to_host(epi);
+    epi_timer_.copy_to_host(et);
+    tcell_.copy_to_host(tc);
+    tcell_timer_.copy_to_host(tt);
+    tcell_bind_.copy_to_host(tb);
+    virus_.copy_to_host(vv);
+    chem_.copy_to_host(cc);
+    std::uint64_t d = 0;
+    for (std::int32_t y = 0; y < h_; ++y) {
+      for (std::int32_t x = 0; x < w_; ++x) {
+        const std::uint32_t s = lay_.index(x, y);
+        d ^= rules::voxel_digest(gid(x, y), static_cast<EpiState>(epi[s]),
+                                 et[s], tc[s], tt[s], tb[s], vv[s], cc[s]);
+      }
+    }
+    return d;
+  }
+
+  const TimeSeries& history() const { return history_; }
+  const perfmodel::RankCostLog& cost_log() const { return cost_log_; }
+  const gpusim::DeviceStats& device_stats() const { return dev_.stats(); }
+
+ private:
+  // ---- geometry helpers ------------------------------------------------------
+  VoxelId gid(std::int32_t x, std::int32_t y) const {
+    return static_cast<VoxelId>(sub_.origin.y + y) *
+               static_cast<VoxelId>(grid_.dim_x()) +
+           static_cast<VoxelId>(sub_.origin.x + x);
+  }
+  std::size_t stage_len() const {
+    return static_cast<std::size_t>(
+        std::max(sub_.extent.x, sub_.extent.y));
+  }
+  std::size_t face_len(int face) const {
+    return (face == kFaceXNeg || face == kFaceXPos)
+               ? static_cast<std::size_t>(h_)
+               : static_cast<std::size_t>(w_);
+  }
+  void boundary_xy(int face, std::uint32_t i, std::int32_t& x,
+                   std::int32_t& y) const {
+    switch (face) {
+      case kFaceXNeg: x = 0; y = static_cast<std::int32_t>(i); break;
+      case kFaceXPos: x = w_ - 1; y = static_cast<std::int32_t>(i); break;
+      case kFaceYNeg: x = static_cast<std::int32_t>(i); y = 0; break;
+      default: x = static_cast<std::int32_t>(i); y = h_ - 1; break;
+    }
+  }
+  void ghost_xy(int face, std::uint32_t i, std::int32_t& x,
+                std::int32_t& y) const {
+    switch (face) {
+      case kFaceXNeg: x = -1; y = static_cast<std::int32_t>(i); break;
+      case kFaceXPos: x = w_; y = static_cast<std::int32_t>(i); break;
+      case kFaceYNeg: x = static_cast<std::int32_t>(i); y = -1; break;
+      default: x = static_cast<std::int32_t>(i); y = h_; break;
+    }
+  }
+  static int opposite(int face) { return face ^ 1; }
+
+  LaunchConfig tile_launch() const {
+    const std::uint64_t items = static_cast<std::uint64_t>(
+        tiles_.active_count() * static_cast<std::size_t>(lay_.slots_per_tile()));
+    const auto bd = static_cast<std::uint32_t>(params_.block_dim);
+    return {static_cast<std::uint32_t>((items + bd - 1) / bd), bd};
+  }
+  LaunchConfig linear_launch(std::uint64_t items) const {
+    const auto bd = static_cast<std::uint32_t>(params_.block_dim);
+    return {static_cast<std::uint32_t>(std::max<std::uint64_t>(
+                1, (items + bd - 1) / bd)),
+            bd};
+  }
+
+  // ---- initialization ------------------------------------------------------------
+  void upload_initial_state(const std::vector<VoxelId>& foi,
+                            const std::vector<VoxelId>& empties) {
+    std::vector<std::uint8_t> epi(lay_.size(),
+                                  static_cast<std::uint8_t>(EpiState::kEmpty));
+    std::vector<float> vir(lay_.size(), 0.0f);
+    for (std::int32_t y = 0; y < h_; ++y) {
+      for (std::int32_t x = 0; x < w_; ++x) {
+        epi[lay_.index(x, y)] = static_cast<std::uint8_t>(EpiState::kHealthy);
+      }
+    }
+    for (VoxelId v : empties) {
+      const Coord c = grid_.to_coord(v);
+      if (!sub_.contains(c)) continue;
+      epi[lay_.index(c.x - sub_.origin.x, c.y - sub_.origin.y)] =
+          static_cast<std::uint8_t>(EpiState::kEmpty);
+    }
+    for (VoxelId v : foi) {
+      const Coord c = grid_.to_coord(v);
+      if (!sub_.contains(c)) continue;
+      SIMCOV_REQUIRE(
+          epi[lay_.index(c.x - sub_.origin.x, c.y - sub_.origin.y)] !=
+              static_cast<std::uint8_t>(EpiState::kEmpty),
+          "FOI voxel is an airway (empty) voxel");
+      vir[lay_.index(c.x - sub_.origin.x, c.y - sub_.origin.y)] =
+          params_.initial_virus;
+    }
+    epi_state_.copy_from_host(epi);
+    virus_.copy_from_host(vir);
+    upload_active_tiles();
+  }
+
+  void register_channels() {
+    for (int f = 0; f < kNumFaces; ++f) {
+      if (sub_.neighbour[static_cast<std::size_t>(f)] < 0) continue;
+      const std::size_t len = face_len(f);
+      for (int p = 0; p < kNumPayloads; ++p) {
+        rank_.register_channel(channel_of(f, p), len * sizeof(std::uint64_t));
+      }
+    }
+  }
+
+  void upload_active_tiles() {
+    const auto& list = tiles_.active_list();
+    if (!list.empty()) {
+      active_tiles_dev_.copy_from_host(
+          std::span<const std::uint32_t>(list.data(), list.size()));
+    }
+  }
+
+  // ---- generic strip exchange ------------------------------------------------------
+  template <typename T>
+  DeviceBuffer<T>& stage();
+
+  /// Exchanges one payload on all faces: packs the send-side strip of `buf`
+  /// on the device, ships it through the PGAS channel, and unpacks into the
+  /// receive-side strip (optionally max-merging, for bid fields).
+  template <typename T>
+  void exchange(DeviceBuffer<T>& buf, int payload, StripSide send_side,
+                MergeMode mode) {
+    std::array<std::vector<T>, kNumFaces> host;
+    DeviceBuffer<T>& stg = stage<T>();
+    for (int f = 0; f < kNumFaces; ++f) {
+      const int nb = sub_.neighbour[static_cast<std::size_t>(f)];
+      if (nb < 0) continue;
+      const std::size_t len = face_len(f);
+      // Pack kernel: strip -> staging.
+      dev_.parallel_for(linear_launch(len), [&, f, len](auto& t) {
+        const std::uint64_t i = t.global_index();
+        if (i >= len) return;
+        std::int32_t x, y;
+        if (send_side == StripSide::kBoundary) {
+          boundary_xy(f, static_cast<std::uint32_t>(i), x, y);
+        } else {
+          ghost_xy(f, static_cast<std::uint32_t>(i), x, y);
+        }
+        auto src = t.global(buf);
+        auto dst = t.global(stg);
+        dst.write(i, src.read(lay_.index(x, y)));
+      });
+      host[static_cast<std::size_t>(f)].resize(len);
+      stg.copy_to_host(std::span<T>(host[static_cast<std::size_t>(f)].data(), len));
+      rank_.put(nb, channel_of(opposite(f), payload),
+                std::as_bytes(std::span<const T>(
+                    host[static_cast<std::size_t>(f)].data(), len)));
+    }
+    rank_.barrier();
+    for (int f = 0; f < kNumFaces; ++f) {
+      const int nb = sub_.neighbour[static_cast<std::size_t>(f)];
+      if (nb < 0) continue;
+      const std::size_t len = face_len(f);
+      auto data = rank_.channel(channel_of(f, payload));
+      std::vector<T> recv(len);
+      std::memcpy(recv.data(), data.data(), len * sizeof(T));
+      stg.copy_from_host(std::span<const T>(recv.data(), len));
+      // Unpack kernel: staging -> receive-side strip.
+      dev_.parallel_for(linear_launch(len), [&, f, len](auto& t) {
+        const std::uint64_t i = t.global_index();
+        if (i >= len) return;
+        std::int32_t x, y;
+        if (send_side == StripSide::kBoundary) {
+          ghost_xy(f, static_cast<std::uint32_t>(i), x, y);
+        } else {
+          boundary_xy(f, static_cast<std::uint32_t>(i), x, y);
+        }
+        auto src = t.global(stg);
+        auto dst = t.global(buf);
+        const std::uint32_t slot = lay_.index(x, y);
+        if (mode == MergeMode::kMax) {
+          const T mine = dst.read(slot);
+          const T theirs = src.read(i);
+          dst.write(slot, std::max(mine, theirs));
+        } else {
+          dst.write(slot, src.read(i));
+        }
+      });
+    }
+    rank_.barrier();
+  }
+
+  /// The bid/intent communication of Fig. 2 ("Copy To Ghost Voxels").
+  /// Stage 1 pushes every rank's foreign-bid contributions and boundary
+  /// intents to the owner; stage 2 broadcasts the owner's merged winner
+  /// fields back into the ghosts (two sub-messages of one logical wave; the
+  /// second stage also covers three-rank corner competitions).
+  void wave_bids() {
+    // Stage 1a: my boundary intents -> neighbour ghost intent slots.
+    exchange(intent_kind_, kPIntentKind, StripSide::kBoundary,
+             MergeMode::kOverwrite);
+    exchange(intent_target_, kPIntentTarget, StripSide::kBoundary,
+             MergeMode::kOverwrite);
+    exchange(intent_bid_, kPIntentBid, StripSide::kBoundary,
+             MergeMode::kOverwrite);
+    exchange(intent_timer_, kPIntentTimer, StripSide::kBoundary,
+             MergeMode::kOverwrite);
+    // Stage 1b: my ghost-slot bid contributions -> owner boundary (max).
+    exchange(bid_move_, kPBidMove, StripSide::kGhost, MergeMode::kMax);
+    exchange(bid_bind_, kPBidBind, StripSide::kGhost, MergeMode::kMax);
+    // Stage 2: owner's merged boundary winners -> my ghost slots.
+    exchange(bid_move_, kPBidMove, StripSide::kBoundary, MergeMode::kMax);
+    exchange(bid_bind_, kPBidBind, StripSide::kBoundary, MergeMode::kMax);
+  }
+
+  void exchange_state_halo() {
+    exchange(epi_state_, kPEpi, StripSide::kBoundary, MergeMode::kOverwrite);
+    exchange(tcell_, kPTcell, StripSide::kBoundary, MergeMode::kOverwrite);
+    exchange(tcell_timer_, kPTcellTimer, StripSide::kBoundary,
+             MergeMode::kOverwrite);
+    exchange(tcell_bind_, kPTcellBind, StripSide::kBoundary,
+             MergeMode::kOverwrite);
+    exchange(virus_, kPVirus, StripSide::kBoundary, MergeMode::kOverwrite);
+    exchange(chem_, kPChem, StripSide::kBoundary, MergeMode::kOverwrite);
+  }
+
+  // ---- kernels -------------------------------------------------------------------
+  /// Runs `body(x, y, slot)` for every interior voxel of every active tile.
+  template <typename F>
+  void for_active_voxels(F&& body) {
+    const auto& list = tiles_.active_list();
+    if (list.empty()) return;
+    const std::uint32_t spt =
+        static_cast<std::uint32_t>(lay_.slots_per_tile());
+    const std::uint64_t items = list.size() * spt;
+    dev_.parallel_for(tile_launch(), [&, items, spt](auto& t) {
+      const std::uint64_t i = t.global_index();
+      if (i >= items) return;
+      auto tiles_view = t.global(active_tiles_dev_);
+      const std::uint32_t tile = tiles_view.read(i / spt);
+      const std::uint32_t slot = tile * spt + static_cast<std::uint32_t>(i % spt);
+      std::int32_t x, y;
+      lay_.slot_to_xy(slot, x, y);
+      if (x >= w_ || y >= h_) return;  // tile padding
+      body(t, x, y, slot);
+    });
+  }
+
+  void k_clear_bids() {
+    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+                          std::uint32_t slot) {
+      t.global(bid_move_).write(slot, 0);
+      t.global(bid_bind_).write(slot, 0);
+      t.global(intent_kind_).write(slot, 0);
+      t.global(eligible_).write(slot, 0);
+    });
+    // Ghost region is a contiguous suffix of the layout.
+    const std::uint32_t base = lay_.interior_slots();
+    const std::uint64_t n = lay_.size() - base;
+    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+      const std::uint64_t i = t.global_index();
+      if (i >= n) return;
+      const std::size_t slot = base + i;
+      t.global(bid_move_).write(slot, 0);
+      t.global(bid_bind_).write(slot, 0);
+      t.global(intent_kind_).write(slot, 0);
+    });
+  }
+
+  void k_age_and_occupancy() {
+    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+                          std::uint32_t slot) {
+      auto tc = t.global(tcell_);
+      auto occ = t.global(occupancy_);
+      if (!tc.read(slot)) {
+        occ.write(slot, 0);
+        return;
+      }
+      auto bind = t.global(tcell_bind_);
+      auto timer = t.global(tcell_timer_);
+      auto elig = t.global(eligible_);
+      const std::uint32_t b = bind.read(slot);
+      if (b > 0) {
+        bind.write(slot, b - 1);
+      } else {
+        const std::uint32_t life = timer.read(slot);
+        if (life <= 1) {
+          tc.write(slot, 0);
+          timer.write(slot, 0);
+        } else {
+          timer.write(slot, life - 1);
+          elig.write(slot, 1);
+        }
+      }
+      occ.write(slot, tc.read(slot));
+    });
+  }
+
+  /// Post-aging occupancy for ghost voxels, computed locally from the
+  /// exchanged end-of-previous-step T cell state (the same deterministic
+  /// rule the owner applies, so both sides agree on who blocks movement).
+  void k_ghost_occupancy() {
+    const std::uint32_t base = lay_.interior_slots();
+    const std::uint64_t n = lay_.size() - base;
+    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+      const std::uint64_t i = t.global_index();
+      if (i >= n) return;
+      const std::size_t slot = base + i;
+      auto tc = t.global(tcell_);
+      std::uint8_t occ = 0;
+      if (tc.read(slot)) {
+        const std::uint32_t b = t.global(tcell_bind_).read(slot);
+        const std::uint32_t life = t.global(tcell_timer_).read(slot);
+        occ = (b > 0 || life > 1) ? 1 : 0;
+      }
+      t.global(occupancy_).write(slot, occ);
+    });
+  }
+
+  void k_intents() {
+    const std::uint64_t step = step_;
+    for_active_voxels([&, step](auto& t, std::int32_t x, std::int32_t y,
+                                std::uint32_t slot) {
+      if (!t.global(eligible_).read(slot)) return;
+      auto epi = t.global(epi_state_);
+      // Neighbour view in contract order over the *global* grid bounds.
+      rules::NeighbourView nb;
+      const std::int32_t gx = sub_.origin.x + x, gy = sub_.origin.y + y;
+      const std::array<std::array<std::int32_t, 2>, 4> offs{
+          {{-1, 0}, {+1, 0}, {0, -1}, {0, +1}}};
+      for (const auto& o : offs) {
+        const std::int32_t nx = gx + o[0], ny = gy + o[1];
+        if (nx < 0 || nx >= grid_.dim_x() || ny < 0 || ny >= grid_.dim_y())
+          continue;
+        const std::uint32_t ns = lay_.index(x + o[0], y + o[1]);
+        nb.ids[static_cast<std::size_t>(nb.count)] =
+            static_cast<VoxelId>(ny) * grid_.dim_x() + nx;
+        nb.epi[static_cast<std::size_t>(nb.count)] =
+            static_cast<EpiState>(epi.read(ns));
+        ++nb.count;
+      }
+      const VoxelId v = gid(x, y);
+      const rules::Intent intent = rules::tcell_intent(
+          rng_, step, v, static_cast<EpiState>(epi.read(slot)), nb);
+      if (intent.kind == rules::IntentKind::kNone) return;
+      t.global(intent_kind_).write(slot,
+                                   static_cast<std::uint8_t>(intent.kind));
+      t.global(intent_target_).write(slot, intent.target);
+      t.global(intent_bid_).write(slot, intent.bid);
+      t.global(intent_timer_).write(slot, t.global(tcell_timer_).read(slot));
+      // "Assign winners": store the bid at the target (atomicMax); the
+      // target may be a ghost slot.
+      const std::uint32_t tslot = slot_of_global(intent.target);
+      auto& field = (intent.kind == rules::IntentKind::kMove) ? bid_move_
+                                                              : bid_bind_;
+      t.global(field).atomic_max(tslot, intent.bid);
+    });
+  }
+
+  /// Layout slot of a global voxel id within my padded domain (interior or
+  /// ghost ring; anything further away is a bug).
+  std::uint32_t slot_of_global(VoxelId v) const {
+    const std::int32_t gx = static_cast<std::int32_t>(
+        v % static_cast<VoxelId>(grid_.dim_x()));
+    const std::int32_t gy = static_cast<std::int32_t>(
+        v / static_cast<VoxelId>(grid_.dim_x()));
+    return lay_.index(gx - sub_.origin.x, gy - sub_.origin.y);
+  }
+  bool global_is_mine(VoxelId v) const {
+    const std::int32_t gx = static_cast<std::int32_t>(
+        v % static_cast<VoxelId>(grid_.dim_x()));
+    const std::int32_t gy = static_cast<std::int32_t>(
+        v / static_cast<VoxelId>(grid_.dim_x()));
+    return sub_.contains({gx, gy, 0});
+  }
+
+  void k_moves_own() {
+    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+                          std::uint32_t slot) {
+      if (t.global(intent_kind_).read(slot) !=
+          static_cast<std::uint8_t>(rules::IntentKind::kMove))
+        return;
+      const VoxelId target = t.global(intent_target_).read(slot);
+      const std::uint64_t bid = t.global(intent_bid_).read(slot);
+      const std::uint32_t tslot = slot_of_global(target);
+      if (t.global(bid_move_).read(tslot) != bid) return;   // lost tiebreak
+      if (t.global(occupancy_).read(tslot)) return;         // ran into a cell
+      // Winner: erase at the source; instantiate when the target is ours
+      // (otherwise the owner instantiates from our exchanged intent).
+      auto tc = t.global(tcell_);
+      auto timer = t.global(tcell_timer_);
+      if (global_is_mine(target)) {
+        tc.write(tslot, 1);
+        timer.write(tslot, timer.read(slot));
+        t.global(tcell_bind_).write(tslot, 0);
+      }
+      tc.write(slot, 0);
+      timer.write(slot, 0);
+    });
+  }
+
+  void k_moves_entrants() {
+    const std::uint32_t base = lay_.interior_slots();
+    const std::uint64_t n = lay_.size() - base;
+    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+      const std::uint64_t i = t.global_index();
+      if (i >= n) return;
+      const std::size_t slot = base + i;
+      if (t.global(intent_kind_).read(slot) !=
+          static_cast<std::uint8_t>(rules::IntentKind::kMove))
+        return;
+      const VoxelId target = t.global(intent_target_).read(slot);
+      if (!global_is_mine(target)) return;
+      const std::uint64_t bid = t.global(intent_bid_).read(slot);
+      const std::uint32_t tslot = slot_of_global(target);
+      if (t.global(bid_move_).read(tslot) != bid) return;
+      if (t.global(occupancy_).read(tslot)) return;
+      t.global(tcell_).write(tslot, 1);
+      t.global(tcell_timer_).write(tslot,
+                                   t.global(intent_timer_).read(slot));
+      t.global(tcell_bind_).write(tslot, 0);
+    });
+  }
+
+  void k_binds_own() {
+    const std::uint64_t step = step_;
+    for_active_voxels([&, step](auto& t, std::int32_t, std::int32_t,
+                                std::uint32_t slot) {
+      if (t.global(intent_kind_).read(slot) !=
+          static_cast<std::uint8_t>(rules::IntentKind::kBind))
+        return;
+      const VoxelId target = t.global(intent_target_).read(slot);
+      const std::uint64_t bid = t.global(intent_bid_).read(slot);
+      const std::uint32_t tslot = slot_of_global(target);
+      if (t.global(bid_bind_).read(tslot) != bid) return;
+      auto epi = t.global(epi_state_);
+      if (static_cast<EpiState>(epi.read(tslot)) != EpiState::kExpressing)
+        return;
+      t.global(tcell_bind_).write(
+          slot, static_cast<std::uint32_t>(params_.tcell_binding_period));
+      if (global_is_mine(target)) {
+        epi.write(tslot, static_cast<std::uint8_t>(EpiState::kApoptotic));
+        t.global(epi_timer_).write(
+            tslot, rules::sample_period(rng_, step, target,
+                                        RngStream::kApoptosisPeriod,
+                                        params_.apoptosis_period));
+      }
+    });
+  }
+
+  void k_binds_ghost() {
+    const std::uint64_t step = step_;
+    const std::uint32_t base = lay_.interior_slots();
+    const std::uint64_t n = lay_.size() - base;
+    dev_.parallel_for(linear_launch(n), [&, step, base, n](auto& t) {
+      const std::uint64_t i = t.global_index();
+      if (i >= n) return;
+      const std::size_t slot = base + i;
+      if (t.global(intent_kind_).read(slot) !=
+          static_cast<std::uint8_t>(rules::IntentKind::kBind))
+        return;
+      const VoxelId target = t.global(intent_target_).read(slot);
+      if (!global_is_mine(target)) return;
+      const std::uint64_t bid = t.global(intent_bid_).read(slot);
+      const std::uint32_t tslot = slot_of_global(target);
+      if (t.global(bid_bind_).read(tslot) != bid) return;
+      auto epi = t.global(epi_state_);
+      if (static_cast<EpiState>(epi.read(tslot)) != EpiState::kExpressing)
+        return;
+      epi.write(tslot, static_cast<std::uint8_t>(EpiState::kApoptotic));
+      t.global(epi_timer_).write(
+          tslot, rules::sample_period(rng_, step, target,
+                                      RngStream::kApoptosisPeriod,
+                                      params_.apoptosis_period));
+    });
+  }
+
+  void k_extravasation() {
+    // Inherently ordered (attempt i sees the occupancy left by attempt
+    // i-1), so this runs as a single device thread, exactly like the
+    // serial rule; the attempt count is tiny relative to the voxel kernels.
+    const std::uint64_t attempts = rules::num_extravasation_attempts(
+        pool_, params_.max_extravasate_per_step);
+    const std::uint64_t step = step_;
+    dev_.launch_blocks({1, 1}, [&, attempts, step](auto& blk) {
+      blk.for_each_thread([&](std::uint32_t) {
+        auto tc = blk.global(tcell_);
+        auto timer = blk.global(tcell_timer_);
+        auto bind = blk.global(tcell_bind_);
+        auto epi = blk.global(epi_state_);
+        auto chem = blk.global(chem_);
+        auto count = blk.global(extrav_dev_);
+        std::uint32_t successes = 0;
+        for (std::uint64_t i = 0; i < attempts; ++i) {
+          const VoxelId u =
+              rules::attempt_voxel(rng_, step, i, grid_.num_voxels());
+          if (!global_is_mine(u)) continue;
+          const std::uint32_t slot = slot_of_global(u);
+          if (!rules::attempt_accepted(rng_, step, i, chem.read(slot)))
+            continue;
+          if (static_cast<EpiState>(epi.read(slot)) == EpiState::kEmpty)
+            continue;
+          if (tc.read(slot)) continue;
+          tc.write(slot, 1);
+          timer.write(slot, static_cast<std::uint32_t>(
+                                params_.tcell_tissue_period));
+          bind.write(slot, 0);
+          ++successes;
+        }
+        count.write(0, successes);
+      });
+    });
+  }
+
+  void k_epithelial() {
+    const std::uint64_t step = step_;
+    for_active_voxels([&, step](auto& t, std::int32_t x, std::int32_t y,
+                                std::uint32_t slot) {
+      auto epi = t.global(epi_state_);
+      const auto s = static_cast<EpiState>(epi.read(slot));
+      if (s == EpiState::kEmpty || s == EpiState::kDead) return;
+      auto timer = t.global(epi_timer_);
+      const rules::EpiUpdate u = rules::update_epithelial(
+          rng_, step, gid(x, y), s, timer.read(slot),
+          t.global(virus_).read(slot), params_);
+      epi.write(slot, static_cast<std::uint8_t>(u.state));
+      timer.write(slot, u.timer);
+    });
+  }
+
+  void field_pass(DeviceBuffer<float>& field, bool is_virus) {
+    const double production =
+        is_virus ? params_.virus_production : params_.chem_production;
+    const double decay = is_virus ? params_.virus_decay : params_.chem_decay;
+    const double diffusion =
+        is_virus ? params_.virus_diffusion : params_.chem_diffusion;
+    const double floor_eps = is_virus ? params_.min_virus : params_.min_chem;
+
+    // Production + decay into tmp (tmp is all-zero outside active tiles).
+    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+                          std::uint32_t slot) {
+      const auto s = static_cast<EpiState>(t.global(epi_state_).read(slot));
+      const bool produces =
+          is_virus ? rules::produces_virus(s) : rules::produces_chem(s);
+      t.global(tmp_).write(slot,
+                           rules::produce_decay(t.global(field).read(slot),
+                                                produces, production, decay));
+    });
+    // Boundary tmp -> neighbour ghosts (diffusion reads this-step values).
+    exchange(tmp_, kPTmp, StripSide::kBoundary, MergeMode::kOverwrite);
+    // Diffusion stencil reading tmp, writing the field.
+    for_active_voxels([&](auto& t, std::int32_t x, std::int32_t y,
+                          std::uint32_t slot) {
+      auto tmp = t.global(tmp_);
+      const std::int32_t gx = sub_.origin.x + x, gy = sub_.origin.y + y;
+      double sum = 0.0;
+      int cnt = 0;
+      const std::array<std::array<std::int32_t, 2>, 4> offs{
+          {{-1, 0}, {+1, 0}, {0, -1}, {0, +1}}};
+      for (const auto& o : offs) {
+        const std::int32_t nx = gx + o[0], ny = gy + o[1];
+        if (nx < 0 || nx >= grid_.dim_x() || ny < 0 || ny >= grid_.dim_y())
+          continue;
+        sum += static_cast<double>(tmp.read(lay_.index(x + o[0], y + o[1])));
+        ++cnt;
+      }
+      t.global(field).write(
+          slot, rules::diffuse(tmp.read(slot), sum, cnt, diffusion, floor_eps));
+    });
+    // Re-zero tmp for the next field (active tiles + ghost strips only —
+    // everything else was never written).
+    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+                          std::uint32_t slot) {
+      t.global(tmp_).write(slot, 0.0f);
+    });
+    const std::uint32_t base = lay_.interior_slots();
+    const std::uint64_t n = lay_.size() - base;
+    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+      const std::uint64_t i = t.global_index();
+      if (i >= n) return;
+      t.global(tmp_).write(base + i, 0.0f);
+    });
+  }
+
+  void run_tile_sweep() {
+    // One block per tile scans its voxels; the block flag lives in shared
+    // memory and one thread publishes it (§3.2).
+    const auto spt = static_cast<std::uint32_t>(lay_.slots_per_tile());
+    const std::uint32_t bd = std::min<std::uint32_t>(spt, 1024);
+    dev_.launch_blocks(
+        {static_cast<std::uint32_t>(lay_.num_tiles()), bd}, [&](auto& blk) {
+          auto found = blk.template shared<std::uint32_t>(1);
+          blk.for_each_thread([&](std::uint32_t tid) {
+            auto epi = blk.global(epi_state_);
+            auto tc = blk.global(tcell_);
+            auto vir = blk.global(virus_);
+            auto che = blk.global(chem_);
+            for (std::uint32_t i = tid; i < spt; i += bd) {
+              const std::uint32_t slot = blk.block_idx() * spt + i;
+              std::int32_t x, y;
+              lay_.slot_to_xy(slot, x, y);
+              if (x >= w_ || y >= h_) continue;  // tile padding
+              if (vir.read(slot) > 0.0f || che.read(slot) > 0.0f ||
+                  tc.read(slot) != 0 ||
+                  transient_epi(static_cast<EpiState>(epi.read(slot)))) {
+                found[0] = 1;
+              }
+            }
+          });
+          blk.for_each_thread([&](std::uint32_t tid) {
+            if (tid == 0) {
+              blk.global(sweep_flags_)
+                  .write(blk.block_idx(), static_cast<std::uint8_t>(found[0]));
+            }
+          });
+        });
+    std::vector<std::uint8_t> raw(static_cast<std::size_t>(lay_.num_tiles()));
+    sweep_flags_.copy_to_host(raw);
+    tiles_.update_from_sweep(raw);
+    upload_active_tiles();
+  }
+
+  void reduce_stats(StepStats& stats) {
+    if (variant_.fast_reduction) {
+      reduce_tree();
+    } else {
+      reduce_atomic();
+    }
+    std::array<double, kNumDevStats> dev_stats{};
+    stats_dev_.copy_to_host(std::span<double>(dev_stats.data(), kNumDevStats));
+    std::array<std::uint32_t, 1> extrav{};
+    extrav_dev_.copy_to_host(std::span<std::uint32_t>(extrav.data(), 1));
+
+    stats.virus_total = dev_stats[0];
+    stats.chem_total = dev_stats[1];
+    for (int s = 0; s < kNumEpiStates; ++s) {
+      stats.epi_counts[static_cast<std::size_t>(s)] =
+          static_cast<std::uint64_t>(dev_stats[static_cast<std::size_t>(2 + s)] +
+                                     0.5);
+    }
+    stats.tcells_tissue =
+        static_cast<std::uint64_t>(dev_stats[2 + kNumEpiStates] + 0.5);
+    stats.extravasated = extrav[0];
+
+    const auto flat = stats.flatten();
+    const auto reduced =
+        rank_.allreduce_sum(std::span<const double>(flat.data(), flat.size()));
+    std::array<double, StepStats::kFlatSize> arr{};
+    std::copy(reduced.begin(), reduced.end(), arr.begin());
+    stats = StepStats::unflatten(arr);
+    pool_ = rules::pool_after_step(pool_, step_, params_, stats.extravasated);
+    stats.tcells_vascular = pool_;
+
+    stats_dev_.fill(0.0);
+    extrav_dev_.fill(0);
+  }
+
+  /// Unoptimized reduction: every voxel updates the global counters with
+  /// atomics — the contention §3.3 identifies as the dominant cost.
+  void reduce_atomic() {
+    const std::uint64_t n = lay_.interior_slots();
+    dev_.parallel_for(linear_launch(n), [&, n](auto& t) {
+      const std::uint64_t i = t.global_index();
+      if (i >= n) return;
+      std::int32_t x, y;
+      lay_.slot_to_xy(static_cast<std::uint32_t>(i), x, y);
+      if (x >= w_ || y >= h_) return;
+      auto out = t.global(stats_dev_);
+      const float v = t.global(virus_).read(i);
+      if (v > 0.0f) out.atomic_add(0, static_cast<double>(v));
+      const float c = t.global(chem_).read(i);
+      if (c > 0.0f) out.atomic_add(1, static_cast<double>(c));
+      const auto s = t.global(epi_state_).read(i);
+      out.atomic_add(2 + s, 1.0);
+      if (t.global(tcell_).read(i)) out.atomic_add(2 + kNumEpiStates, 1.0);
+    });
+  }
+
+  /// Fast reduction (§3.3): threads accumulate strided subsets, blocks fold
+  /// them through shared memory with a tree, and only one atomic per stat
+  /// per block touches global memory.
+  void reduce_tree() {
+    const std::uint64_t n = lay_.interior_slots();
+    const std::uint32_t bd = reduce_block_;
+    const std::uint32_t blocks = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+        n / (static_cast<std::uint64_t>(bd) * 8), 1, 256));
+    const std::uint64_t stride = static_cast<std::uint64_t>(blocks) * bd;
+    dev_.launch_blocks({blocks, bd}, [&, n, bd, stride](auto& blk) {
+      auto sh = blk.template shared<double>(static_cast<std::size_t>(bd) *
+                                            kNumDevStats);
+      blk.for_each_thread([&](std::uint32_t tid) {
+        auto epi = blk.global(epi_state_);
+        auto tc = blk.global(tcell_);
+        auto vir = blk.global(virus_);
+        auto che = blk.global(chem_);
+        std::array<double, kNumDevStats> acc{};
+        for (std::uint64_t i = blk.block_idx() * bd + tid; i < n; i += stride) {
+          std::int32_t x, y;
+          lay_.slot_to_xy(static_cast<std::uint32_t>(i), x, y);
+          if (x >= w_ || y >= h_) continue;
+          acc[0] += static_cast<double>(vir.read(i));
+          acc[1] += static_cast<double>(che.read(i));
+          acc[static_cast<std::size_t>(2 + epi.read(i))] += 1.0;
+          if (tc.read(i)) acc[2 + kNumEpiStates] += 1.0;
+        }
+        for (std::size_t s = 0; s < kNumDevStats; ++s) {
+          sh[tid * kNumDevStats + s] = acc[s];
+        }
+      });
+      for (std::uint32_t off = bd / 2; off > 0; off >>= 1) {
+        blk.for_each_thread([&](std::uint32_t tid) {
+          if (tid < off) {
+            for (std::size_t s = 0; s < kNumDevStats; ++s) {
+              sh[tid * kNumDevStats + s] += sh[(tid + off) * kNumDevStats + s];
+            }
+          }
+        });
+      }
+      blk.for_each_thread([&](std::uint32_t tid) {
+        if (tid == 0) {
+          auto out = blk.global(stats_dev_);
+          for (std::size_t s = 0; s < kNumDevStats; ++s) {
+            out.atomic_add(s, sh[s]);
+          }
+        }
+      });
+    });
+  }
+
+  // ---- cost accounting ------------------------------------------------------------
+  void snapshot_counters() {
+    comm_snapshot_ = rank_.stats();
+    dev_snapshot_ = dev_.stats();
+  }
+
+  void record_phase(perfmodel::Phase phase) {
+    perfmodel::WorkSample sample;
+    sample.comm = rank_.stats().since(comm_snapshot_);
+    sample.dev = dev_.stats().since(dev_snapshot_);
+    sample.mem_penalty = variant_.memory_tiling ? 1.0 : kUntiledMemPenalty;
+    cost_log_.add(phase, sample);
+    comm_snapshot_ = rank_.stats();
+    dev_snapshot_ = dev_.stats();
+  }
+
+  // ---- members -----------------------------------------------------------------------
+  pgas::Rank& rank_;
+  SimParams params_;
+  Grid grid_;
+  Subdomain sub_;
+  CounterRng rng_;
+  GpuVariant variant_;
+  TiledLayout lay_;
+  ActiveTileSet tiles_;
+  Device dev_;
+  perfmodel::RankCostLog cost_log_;
+
+  std::int32_t w_ = 0, h_ = 0;
+  std::uint32_t reduce_block_ = 128;
+  std::uint64_t step_ = 0;
+  double pool_ = 0.0;
+
+  DeviceBuffer<std::uint8_t> epi_state_;
+  DeviceBuffer<std::uint32_t> epi_timer_;
+  DeviceBuffer<std::uint8_t> tcell_;
+  DeviceBuffer<std::uint32_t> tcell_timer_;
+  DeviceBuffer<std::uint32_t> tcell_bind_;
+  DeviceBuffer<float> virus_;
+  DeviceBuffer<float> chem_;
+  DeviceBuffer<float> tmp_;
+  DeviceBuffer<std::uint8_t> occupancy_;
+  DeviceBuffer<std::uint8_t> eligible_;
+  DeviceBuffer<std::uint8_t> intent_kind_;
+  DeviceBuffer<std::uint64_t> intent_target_;
+  DeviceBuffer<std::uint64_t> intent_bid_;
+  DeviceBuffer<std::uint32_t> intent_timer_;
+  DeviceBuffer<std::uint64_t> bid_move_;
+  DeviceBuffer<std::uint64_t> bid_bind_;
+  DeviceBuffer<std::uint32_t> active_tiles_dev_;
+  DeviceBuffer<std::uint8_t> sweep_flags_;
+  DeviceBuffer<double> stats_dev_;
+  DeviceBuffer<std::uint32_t> extrav_dev_;
+  DeviceBuffer<std::uint8_t> stage_u8_;
+  DeviceBuffer<std::uint32_t> stage_u32_;
+  DeviceBuffer<std::uint64_t> stage_u64_;
+  DeviceBuffer<float> stage_f32_;
+
+  TimeSeries history_;
+  pgas::CommStats comm_snapshot_;
+  gpusim::DeviceStats dev_snapshot_;
+};
+
+template <>
+DeviceBuffer<std::uint8_t>& GpuRank::stage<std::uint8_t>() {
+  return stage_u8_;
+}
+template <>
+DeviceBuffer<std::uint32_t>& GpuRank::stage<std::uint32_t>() {
+  return stage_u32_;
+}
+template <>
+DeviceBuffer<std::uint64_t>& GpuRank::stage<std::uint64_t>() {
+  return stage_u64_;
+}
+template <>
+DeviceBuffer<float>& GpuRank::stage<float>() {
+  return stage_f32_;
+}
+
+}  // namespace
+
+GpuRunResult run_gpu_sim(const SimParams& params,
+                         const std::vector<VoxelId>& foi,
+                         const GpuSimOptions& options,
+                         const std::vector<VoxelId>& empty_voxels) {
+  params.validate();
+  SIMCOV_REQUIRE(options.num_ranks >= 1, "need at least one rank");
+  const Grid grid(params.dim_x, params.dim_y, params.dim_z);
+  const Decomposition dec(grid, options.num_ranks, options.decomp);
+  const perfmodel::CostModel model(options.machine, perfmodel::Backend::kGpu,
+                                   options.num_ranks, options.area_scale);
+
+  pgas::Runtime rt(options.num_ranks);
+  GpuRunResult result;
+  std::vector<const perfmodel::RankCostLog*> logs(
+      static_cast<std::size_t>(options.num_ranks));
+  std::vector<gpusim::DeviceStats> dev_totals(
+      static_cast<std::size_t>(options.num_ranks));
+
+  rt.run([&](pgas::Rank& rank) {
+    GpuRank sim(rank, params, dec, foi, empty_voxels, options.variant, model);
+    rank.barrier();
+    sim.initialize();
+    rank.barrier();
+
+    std::vector<std::uint64_t> digests;
+    for (std::int64_t s = 0; s < params.num_steps; ++s) {
+      sim.step();
+      if (options.record_digests) {
+        digests.push_back(rank.allreduce_xor(sim.local_digest()));
+      }
+    }
+    rank.barrier();
+    if (rank.id() == 0) {
+      result.history = sim.history();
+      result.digests = std::move(digests);
+    }
+    logs[static_cast<std::size_t>(rank.id())] = &sim.cost_log();
+    dev_totals[static_cast<std::size_t>(rank.id())] = sim.device_stats();
+    rank.barrier();
+    if (rank.id() == 0) {
+      result.cost =
+          perfmodel::fold(std::span<const perfmodel::RankCostLog* const>(logs));
+    }
+    rank.barrier();  // keep all sims alive until the fold completes
+  });
+
+  for (const auto& d : dev_totals) result.device_total += d;
+  const pgas::CommStats total = rt.total_stats();
+  result.total_put_bytes = total.put_bytes;
+  result.total_kernel_launches = result.device_total.kernel_launches;
+  return result;
+}
+
+}  // namespace simcov::gpu

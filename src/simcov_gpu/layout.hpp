@@ -1,0 +1,109 @@
+#pragma once
+// Tiled memory layout for a GPU rank's sub-domain (paper §3.2, Fig. 3).
+//
+// A rank's W x H interior is covered by square tiles of side `tile`; each
+// tile's voxels are stored contiguously (the zig-zag traversal of Fig. 3B),
+// giving the data locality the paper exploits, and making a tile the unit
+// of activity tracking.  Edge tiles are padded to tile*tile slots so tile
+// offsets stay closed-form; padding slots are skipped by every kernel via
+// the (x, y) bounds guard.  The one-voxel ghost halo is stored as four
+// strips after the interior (von Neumann interactions never need corner
+// ghosts).
+//
+// This is a plain value type: kernels capture it by copy and call index().
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace simcov::gpu {
+
+class TiledLayout {
+ public:
+  TiledLayout(std::int32_t w, std::int32_t h, std::int32_t tile)
+      : w_(w), h_(h), tile_(tile) {
+    SIMCOV_REQUIRE(w >= 1 && h >= 1, "layout dims must be positive");
+    SIMCOV_REQUIRE(tile >= 1, "tile side must be positive");
+    SIMCOV_REQUIRE(tile <= 32, "tile side > 32 exceeds one block per tile");
+    tiles_x_ = (w + tile - 1) / tile;
+    tiles_y_ = (h + tile - 1) / tile;
+  }
+
+  std::int32_t width() const { return w_; }
+  std::int32_t height() const { return h_; }
+  std::int32_t tile_side() const { return tile_; }
+  std::int32_t tiles_x() const { return tiles_x_; }
+  std::int32_t tiles_y() const { return tiles_y_; }
+  std::int32_t num_tiles() const { return tiles_x_ * tiles_y_; }
+  std::int32_t slots_per_tile() const { return tile_ * tile_; }
+
+  /// Interior storage including tile padding.
+  std::uint32_t interior_slots() const {
+    return static_cast<std::uint32_t>(num_tiles()) *
+           static_cast<std::uint32_t>(slots_per_tile());
+  }
+
+  /// Total storage: interior + the four ghost strips (2h + 2w).
+  std::uint32_t size() const {
+    return interior_slots() + 2u * static_cast<std::uint32_t>(h_) +
+           2u * static_cast<std::uint32_t>(w_);
+  }
+
+  /// Memory slot of local coordinate (x, y); accepts the ghost ring
+  /// (x == -1, x == w, y == -1 or y == h) but never ghost corners.
+  std::uint32_t index(std::int32_t x, std::int32_t y) const {
+    if (x >= 0 && x < w_ && y >= 0 && y < h_) {
+      const std::int32_t tx = x / tile_, ty = y / tile_;
+      const std::int32_t ix = x % tile_, iy = y % tile_;
+      return static_cast<std::uint32_t>((ty * tiles_x_ + tx) *
+                                        slots_per_tile() + iy * tile_ + ix);
+    }
+    const std::uint32_t base = interior_slots();
+    const auto uh = static_cast<std::uint32_t>(h_);
+    const auto uw = static_cast<std::uint32_t>(w_);
+    if (x == -1) {
+      SIMCOV_ASSERT(y >= 0 && y < h_, "ghost corner access");
+      return base + static_cast<std::uint32_t>(y);
+    }
+    if (x == w_) {
+      SIMCOV_ASSERT(y >= 0 && y < h_, "ghost corner access");
+      return base + uh + static_cast<std::uint32_t>(y);
+    }
+    if (y == -1) {
+      SIMCOV_ASSERT(x >= 0 && x < w_, "ghost corner access");
+      return base + 2 * uh + static_cast<std::uint32_t>(x);
+    }
+    SIMCOV_ASSERT(y == h_ && x >= 0 && x < w_, "index outside padded domain");
+    return base + 2 * uh + uw + static_cast<std::uint32_t>(x);
+  }
+
+  /// Inverse of index() for interior+padding slots: slot -> (x, y).  For
+  /// padding slots, the returned coordinates fall outside [0,w)x[0,h); the
+  /// caller's bounds guard skips them.
+  void slot_to_xy(std::uint32_t slot, std::int32_t& x, std::int32_t& y) const {
+    SIMCOV_ASSERT(slot < interior_slots(), "slot is not interior");
+    const std::int32_t t = static_cast<std::int32_t>(slot) / slots_per_tile();
+    const std::int32_t in = static_cast<std::int32_t>(slot) % slots_per_tile();
+    x = (t % tiles_x_) * tile_ + in % tile_;
+    y = (t / tiles_x_) * tile_ + in / tile_;
+  }
+
+  /// Tile id containing interior coordinate (x, y).
+  std::int32_t tile_of(std::int32_t x, std::int32_t y) const {
+    SIMCOV_ASSERT(x >= 0 && x < w_ && y >= 0 && y < h_, "tile_of out of range");
+    return (y / tile_) * tiles_x_ + x / tile_;
+  }
+
+  /// True when the tile touches the sub-domain border (such tiles contain
+  /// the voxels adjacent to the ghost halo and stay active always, §3.2).
+  bool is_border_tile(std::int32_t tile_id) const {
+    const std::int32_t tx = tile_id % tiles_x_, ty = tile_id / tiles_x_;
+    return tx == 0 || tx == tiles_x_ - 1 || ty == 0 || ty == tiles_y_ - 1;
+  }
+
+ private:
+  std::int32_t w_, h_, tile_;
+  std::int32_t tiles_x_, tiles_y_;
+};
+
+}  // namespace simcov::gpu

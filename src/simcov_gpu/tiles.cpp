@@ -1,0 +1,70 @@
+#include "simcov_gpu/tiles.hpp"
+
+#include "util/error.hpp"
+
+namespace simcov::gpu {
+
+ActiveTileSet::ActiveTileSet(const TiledLayout& layout, bool tiling_enabled)
+    : tx_(layout.tiles_x()), ty_(layout.tiles_y()), tiling_(tiling_enabled) {
+  const std::size_t n = static_cast<std::size_t>(num_tiles());
+  always_.assign(n, 0);
+  flags_.assign(n, 0);
+  if (!tiling_) {
+    // Unoptimized variant: the whole domain is processed every step.
+    for (auto& f : always_) f = 1;
+  } else {
+    // Border tiles contain the voxels adjacent to ghost halos: always active
+    // so entities entering from other GPU memory spaces update correctly
+    // (§3.2).  Safety of the periodic check relies on activity needing at
+    // least `tile_side` steps to cross a tile; ragged edge tiles are
+    // thinner, so the ring just inside a ragged edge stays active too.
+    const bool ragged_x = layout.width() % layout.tile_side() != 0;
+    const bool ragged_y = layout.height() % layout.tile_side() != 0;
+    for (std::int32_t ty = 0; ty < ty_; ++ty) {
+      for (std::int32_t tx = 0; tx < tx_; ++tx) {
+        const bool border =
+            tx == 0 || tx == tx_ - 1 || ty == 0 || ty == ty_ - 1;
+        const bool ragged_ring = (ragged_x && tx == tx_ - 2) ||
+                                 (ragged_y && ty == ty_ - 2);
+        if (border || ragged_ring) {
+          always_[static_cast<std::size_t>(ty * tx_ + tx)] = 1;
+        }
+      }
+    }
+  }
+  flags_ = always_;
+  rebuild_list();
+}
+
+void ActiveTileSet::update_from_sweep(const std::vector<std::uint8_t>& raw) {
+  if (!tiling_) return;  // everything stays active
+  SIMCOV_REQUIRE(raw.size() == flags_.size(),
+                 "sweep result has the wrong tile count");
+  flags_ = always_;
+  auto activate = [&](std::int32_t x, std::int32_t y) {
+    if (x < 0 || x >= tx_ || y < 0 || y >= ty_) return;
+    flags_[static_cast<std::size_t>(y * tx_ + x)] = 1;
+  };
+  for (std::int32_t y = 0; y < ty_; ++y) {
+    for (std::int32_t x = 0; x < tx_; ++x) {
+      if (!raw[static_cast<std::size_t>(y * tx_ + x)]) continue;
+      // Active tile plus its one-tile buffer ring (diagonals included: a
+      // diagonal voxel path can cross a tile corner between sweeps).
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        for (std::int32_t dx = -1; dx <= 1; ++dx) activate(x + dx, y + dy);
+      }
+    }
+  }
+  rebuild_list();
+}
+
+void ActiveTileSet::rebuild_list() {
+  list_.clear();
+  for (std::int32_t t = 0; t < num_tiles(); ++t) {
+    if (flags_[static_cast<std::size_t>(t)]) {
+      list_.push_back(static_cast<std::uint32_t>(t));
+    }
+  }
+}
+
+}  // namespace simcov::gpu

@@ -1,0 +1,52 @@
+#pragma once
+// Active-tile tracking (paper §3.2).
+//
+// The host-side mirror of the device tile flags: after each periodic sweep
+// kernel marks tiles with raw activity, this class applies the paper's
+// activation policy — activate a one-tile buffer ring around every active
+// tile, and keep border (ghost-adjacent) tiles always active — and exposes
+// the active tile list kernels iterate over.  The policy's safety argument
+// (nothing moves faster than one voxel per step, so with a check period of
+// at most one tile side, activity cannot escape the buffer ring between
+// sweeps) is property-tested in tests/tiles_test.cpp.
+
+#include <cstdint>
+#include <vector>
+
+#include "simcov_gpu/layout.hpp"
+
+namespace simcov::gpu {
+
+class ActiveTileSet {
+ public:
+  ActiveTileSet(const TiledLayout& layout, bool tiling_enabled);
+
+  /// Applies the activation policy to raw sweep results (`raw[tile]` != 0
+  /// iff the sweep found activity in the tile).  With tiling disabled every
+  /// tile is always active and `raw` is ignored.
+  void update_from_sweep(const std::vector<std::uint8_t>& raw);
+
+  bool is_active(std::int32_t tile_id) const {
+    return flags_[static_cast<std::size_t>(tile_id)] != 0;
+  }
+  const std::vector<std::uint8_t>& flags() const { return flags_; }
+  const std::vector<std::uint32_t>& active_list() const { return list_; }
+  std::size_t active_count() const { return list_.size(); }
+  std::int32_t num_tiles() const { return tx_ * ty_; }
+
+ private:
+  void rebuild_list();
+
+  std::int32_t tx_, ty_;
+  bool tiling_;
+  /// Tiles that can never deactivate: border (ghost-adjacent) tiles, plus —
+  /// when a domain edge is ragged (edge tile thinner than the tile side) —
+  /// the ring just inside that edge.  A ragged edge tile can be crossed in
+  /// fewer steps than the check period, so containment needs the next ring
+  /// pre-activated (see tests/tiles_test.cpp RaggedEdge*).
+  std::vector<std::uint8_t> always_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint32_t> list_;
+};
+
+}  // namespace simcov::gpu

@@ -1,0 +1,228 @@
+// simcov — command-line driver for the SIMCoV-GPU reproduction.
+//
+// Runs a full simulation on any engine, with config-file + command-line
+// parameterization, optional airway structure and CT-lesion seeding, CSV /
+// PPM / checkpoint output, and checkpoint resume (reference engine).
+//
+// Usage:
+//   simcov [--config FILE] [key=value ...]
+//
+// Driver keys (everything else is a SimParams key, see core/params.hpp):
+//   engine        reference | cpu | gpu          (default reference)
+//   ranks         rank count for parallel engines (default 4)
+//   variant       combined | tiling | fastred | unoptimized  (gpu only)
+//   foi_mode      random | lattice | ct          (default random)
+//   lesions       CT lesion count                (foi_mode=ct)
+//   lesion_radius mean CT lesion radius          (foi_mode=ct)
+//   airways       true to overlay a bronchial tree of empty voxels
+//   airway_generations  tree depth               (default 5)
+//   series_csv    path for the per-step statistics CSV
+//   frames        number of PPM frames (reference engine only)
+//   frame_prefix  path prefix for frames         (default "simcov")
+//   checkpoint    path to write a final checkpoint (reference engine only)
+//   resume        path to a checkpoint to resume from (reference engine)
+//   steps_after_resume  extra steps when resuming (default num_steps)
+
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/airways.hpp"
+#include "core/foi.hpp"
+#include "core/grid.hpp"
+#include "core/params.hpp"
+#include "core/reference_sim.hpp"
+#include "harness/experiment.hpp"
+#include "io/snapshot.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace simcov;
+
+const char* const kDriverKeys[] = {
+    "engine",      "ranks",         "variant",     "foi_mode",
+    "lesions",     "lesion_radius", "airways",     "airway_generations",
+    "series_csv",  "frames",        "frame_prefix", "checkpoint",
+    "resume",      "steps_after_resume"};
+
+bool is_driver_key(const std::string& k) {
+  for (const char* d : kDriverKeys) {
+    if (k == d) return true;
+  }
+  return false;
+}
+
+gpu::GpuVariant parse_variant(const std::string& name) {
+  if (name == "combined") return gpu::GpuVariant::combined();
+  if (name == "tiling") return gpu::GpuVariant::memory_tiling_only();
+  if (name == "fastred") return gpu::GpuVariant::fast_reduction_only();
+  if (name == "unoptimized") return gpu::GpuVariant::unoptimized();
+  throw Error("unknown variant '" + name +
+              "' (combined|tiling|fastred|unoptimized)");
+}
+
+void print_summary(const TimeSeries& history) {
+  if (history.empty()) return;
+  const auto virus = series_virus(history);
+  const auto tcells = series_tcells(history);
+  const StepStats& last = history.back();
+  TextTable t({"metric", "value"});
+  t.add_row({"steps", std::to_string(history.size())});
+  t.add_row({"peak virus", fmt(peak(virus), 1)});
+  t.add_row({"final virus", fmt(last.virus_total, 1)});
+  t.add_row({"peak tissue T cells", fmt(peak(tcells), 0)});
+  t.add_row({"final dead epithelial cells", std::to_string(last.dead())});
+  std::printf("%s", t.to_string().c_str());
+}
+
+int run(const Config& cfg) {
+  // Split driver keys from simulation parameters.
+  Config sim_cfg;
+  for (const auto& k : cfg.keys()) {
+    if (!is_driver_key(k)) sim_cfg.set(k, cfg.get_string(k));
+  }
+
+  const std::string engine = cfg.get_string("engine", "reference");
+
+  // ---- resume path (reference engine only) -------------------------------
+  if (cfg.has("resume")) {
+    SIMCOV_REQUIRE(engine == "reference",
+                   "checkpoint resume is supported by the reference engine");
+    ReferenceSim sim = io::load_checkpoint(cfg.get_string("resume"));
+    const long long extra = cfg.get_int("steps_after_resume",
+                                        sim.params().num_steps);
+    std::printf("resumed at step %llu; running %lld more steps\n",
+                static_cast<unsigned long long>(sim.current_step()), extra);
+    sim.run(extra);
+    if (cfg.has("series_csv")) {
+      io::write_series_csv(cfg.get_string("series_csv"), sim.history());
+    }
+    if (cfg.has("checkpoint")) {
+      io::save_checkpoint(cfg.get_string("checkpoint"), sim);
+    }
+    print_summary(sim.history());
+    return 0;
+  }
+
+  SimParams params = SimParams::covid_default();
+  params.apply(sim_cfg);
+  params.validate();
+  const Grid grid(params.dim_x, params.dim_y, params.dim_z);
+
+  // ---- structure & seeding -------------------------------------------------
+  std::vector<VoxelId> empties;
+  if (cfg.get_bool("airways", false)) {
+    AirwayParams ap;
+    ap.generations = static_cast<int>(cfg.get_int("airway_generations", 5));
+    ap.seed = params.seed;
+    empties = airway_voxels(grid, ap);
+    std::printf("airway structure: %zu empty voxels\n", empties.size());
+  }
+
+  std::vector<VoxelId> foi;
+  const std::string foi_mode = cfg.get_string("foi_mode", "random");
+  if (foi_mode == "random") {
+    foi = foi_uniform_random(grid, params.num_foi, params.seed);
+  } else if (foi_mode == "lattice") {
+    foi = foi_lattice(grid, params.num_foi);
+  } else if (foi_mode == "ct") {
+    foi = foi_ct_lesions(grid, cfg.get_int("lesions", 12),
+                         cfg.get_double("lesion_radius", 4.0), params.seed);
+  } else {
+    throw Error("unknown foi_mode '" + foi_mode + "' (random|lattice|ct)");
+  }
+  // Never seed inside an airway lumen.
+  if (!empties.empty()) {
+    std::vector<VoxelId> filtered;
+    for (VoxelId v : foi) {
+      if (!std::binary_search(empties.begin(), empties.end(), v)) {
+        filtered.push_back(v);
+      }
+    }
+    foi.swap(filtered);
+  }
+  std::printf("engine=%s  %s  (%zu FOI voxels)\n", engine.c_str(),
+              params.summary().c_str(), foi.size());
+
+  // ---- run ---------------------------------------------------------------------
+  if (engine == "reference") {
+    ReferenceSim sim(params, foi, empties);
+    const long long frames = cfg.get_int("frames", 0);
+    const std::string prefix = cfg.get_string("frame_prefix", "simcov");
+    const long long frame_every =
+        frames > 0 ? std::max<long long>(1, params.num_steps / frames) : 0;
+    int frame_no = 0;
+    for (long long s = 0; s < params.num_steps; ++s) {
+      sim.step();
+      if (frames > 0 && (s + 1) % frame_every == 0 && frame_no < frames) {
+        io::write_ppm(prefix + "_frame" + std::to_string(frame_no++) + ".ppm",
+                      io::render_state(sim));
+      }
+    }
+    if (cfg.has("series_csv")) {
+      io::write_series_csv(cfg.get_string("series_csv"), sim.history());
+    }
+    if (cfg.has("checkpoint")) {
+      io::save_checkpoint(cfg.get_string("checkpoint"), sim);
+      std::printf("checkpoint written to %s\n",
+                  cfg.get_string("checkpoint").c_str());
+    }
+    print_summary(sim.history());
+    return 0;
+  }
+
+  harness::RunSpec spec;
+  spec.params = params;
+  spec.foi = foi;
+  const int ranks = static_cast<int>(cfg.get_int("ranks", 4));
+  harness::BackendResult result;
+  if (engine == "cpu") {
+    cpu::CpuSimOptions opt;
+    opt.num_ranks = ranks;
+    const auto r = cpu::run_cpu_sim(params, foi, opt, empties);
+    result.history = r.history;
+    result.cost = r.cost;
+    result.modeled_seconds = r.cost.total_s;
+  } else if (engine == "gpu") {
+    gpu::GpuSimOptions opt;
+    opt.num_ranks = ranks;
+    opt.variant = parse_variant(cfg.get_string("variant", "combined"));
+    const auto r = gpu::run_gpu_sim(params, foi, opt, empties);
+    result.history = r.history;
+    result.cost = r.cost;
+    result.modeled_seconds = r.cost.total_s;
+  } else {
+    throw Error("unknown engine '" + engine + "' (reference|cpu|gpu)");
+  }
+  if (cfg.has("series_csv")) {
+    io::write_series_csv(cfg.get_string("series_csv"), result.history);
+  }
+  print_summary(result.history);
+  std::printf("modeled runtime: %.3f s (update %.3f, reduce %.3f)\n",
+              result.modeled_seconds, result.cost.update_agents_s(),
+              result.cost.reduce_stats_s());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Config cfg;
+    int first_kv = 1;
+    if (argc >= 3 && std::string(argv[1]) == "--config") {
+      cfg = Config::from_file(argv[2]);
+      first_kv = 3;
+    }
+    cfg.merge(Config::from_args(argc - first_kv, argv + first_kv));
+    return run(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

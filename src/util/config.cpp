@@ -1,0 +1,156 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace simcov {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  auto end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    SIMCOV_REQUIRE(eq != std::string::npos,
+                   "config line " + std::to_string(lineno) +
+                       " is not 'key = value': '" + line + "'");
+    auto key = trim(line.substr(0, eq));
+    auto value = trim(line.substr(eq + 1));
+    SIMCOV_REQUIRE(!key.empty(), "config line " + std::to_string(lineno) +
+                                     " has an empty key");
+    cfg.set(key, value);
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  SIMCOV_REQUIRE(in.good(), "cannot open config file '" + path + "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_string(text.str());
+}
+
+Config Config::from_args(int argc, const char* const argv[]) {
+  Config cfg;
+  for (int i = 0; i < argc; ++i) {
+    std::string tok = argv[i];
+    auto eq = tok.find('=');
+    SIMCOV_REQUIRE(eq != std::string::npos && eq > 0,
+                   "argument '" + tok + "' is not key=value");
+    cfg.set(trim(tok.substr(0, eq)), trim(tok.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> Config::find(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key) const {
+  auto v = find(key);
+  SIMCOV_REQUIRE(v.has_value(), "missing required config key '" + key + "'");
+  return *v;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& dflt) const {
+  return find(key).value_or(dflt);
+}
+
+long long Config::get_int(const std::string& key) const {
+  const std::string v = get_string(key);
+  try {
+    size_t pos = 0;
+    long long result = std::stoll(v, &pos);
+    SIMCOV_REQUIRE(pos == v.size(), "trailing characters in integer");
+    return result;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("config key '" + key + "' is not an integer: '" + v + "'");
+  }
+}
+
+long long Config::get_int(const std::string& key, long long dflt) const {
+  return has(key) ? get_int(key) : dflt;
+}
+
+double Config::get_double(const std::string& key) const {
+  const std::string v = get_string(key);
+  try {
+    size_t pos = 0;
+    double result = std::stod(v, &pos);
+    SIMCOV_REQUIRE(pos == v.size(), "trailing characters in number");
+    return result;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("config key '" + key + "' is not a number: '" + v + "'");
+  }
+}
+
+double Config::get_double(const std::string& key, double dflt) const {
+  return has(key) ? get_double(key) : dflt;
+}
+
+bool Config::get_bool(const std::string& key) const {
+  const std::string v = lower(get_string(key));
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("config key '" + key + "' is not a boolean: '" + v + "'");
+}
+
+bool Config::get_bool(const std::string& key, bool dflt) const {
+  return has(key) ? get_bool(key) : dflt;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace simcov

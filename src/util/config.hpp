@@ -1,0 +1,58 @@
+#pragma once
+// Minimal key=value configuration store.
+//
+// SIMCoV (the original) reads a flat config file of `key = value` lines;
+// examples and benchmark harnesses here accept the same format plus
+// command-line overrides (`key=value` arguments).  Typed getters validate
+// and convert, throwing simcov::Error with the offending key on failure.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace simcov {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `key = value` lines.  '#' starts a comment; blank lines are
+  /// ignored.  Later keys override earlier ones.
+  static Config from_string(const std::string& text);
+
+  /// Loads a file in the same format.  Throws Error if unreadable.
+  static Config from_file(const std::string& path);
+
+  /// Parses argv-style `key=value` tokens (used by examples/benches).
+  /// Tokens without '=' raise an error so typos are caught.
+  static Config from_args(int argc, const char* const argv[]);
+
+  void set(const std::string& key, const std::string& value);
+
+  /// Merges `other` into this config; other's values win.
+  void merge(const Config& other);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults.  The throwing variants (no default) are
+  /// used for required keys.
+  std::string get_string(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  long long get_int(const std::string& key) const;
+  long long get_int(const std::string& key, long long dflt) const;
+  double get_double(const std::string& key) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  /// All keys in sorted order (for dumping effective configs into reports).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace simcov

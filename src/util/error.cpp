@@ -1,0 +1,14 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace simcov::detail {
+
+void throw_error(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [failed: " << expr << " at " << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace simcov::detail

@@ -1,0 +1,40 @@
+#pragma once
+// Aligned text tables and CSV series output for the benchmark harness.
+//
+// Every bench binary prints (a) an aligned human-readable table matching the
+// rows/series the paper reports and (b) optional CSV for plotting.  Keeping
+// this in one place makes the bench output uniform across figures.
+
+#include <string>
+#include <vector>
+
+namespace simcov {
+
+/// A simple column-aligned table.  Cells are strings; callers format numbers
+/// with the precision appropriate to the figure being reproduced.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Renders as CSV (comma-separated, quotes when needed).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` significant-ish decimal digits (fixed).
+std::string fmt(double value, int prec = 2);
+
+/// Formats "{g,c}" compute-resource tuples as in the paper's x-axes.
+std::string fmt_resources(int gpus, int cpus);
+
+}  // namespace simcov

@@ -1,0 +1,126 @@
+// Domain decomposition: exact partition, owner consistency, neighbour
+// symmetry — parameterized over rank counts and grid shapes.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/decomposition.hpp"
+
+namespace simcov {
+namespace {
+
+using Param = std::tuple<int, int, int, Decomposition::Kind>;  // gx, gy, ranks
+
+class DecompositionP : public ::testing::TestWithParam<Param> {};
+
+TEST_P(DecompositionP, PartitionsTheGridExactly) {
+  const auto [gx, gy, ranks, kind] = GetParam();
+  const Grid grid(gx, gy, 1);
+  const Decomposition dec(grid, ranks, kind);
+  ASSERT_EQ(dec.num_ranks(), ranks);
+  std::vector<int> owner_count(static_cast<std::size_t>(grid.num_voxels()), 0);
+  std::int64_t total = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const Subdomain& s = dec.sub(r);
+    total += s.num_voxels();
+    for (std::int32_t y = s.origin.y; y < s.origin.y + s.extent.y; ++y) {
+      for (std::int32_t x = s.origin.x; x < s.origin.x + s.extent.x; ++x) {
+        ++owner_count[static_cast<std::size_t>(grid.to_id({x, y, 0}))];
+      }
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(grid.num_voxels()));
+  for (auto c : owner_count) ASSERT_EQ(c, 1);  // no overlap, no gap
+}
+
+TEST_P(DecompositionP, OwnerAgreesWithSubdomains) {
+  const auto [gx, gy, ranks, kind] = GetParam();
+  const Grid grid(gx, gy, 1);
+  const Decomposition dec(grid, ranks, kind);
+  for (std::int32_t y = 0; y < gy; ++y) {
+    for (std::int32_t x = 0; x < gx; ++x) {
+      const int o = dec.owner({x, y, 0});
+      ASSERT_TRUE(dec.sub(o).contains({x, y, 0})) << x << "," << y;
+    }
+  }
+}
+
+TEST_P(DecompositionP, NeighbourLinksAreSymmetric) {
+  const auto [gx, gy, ranks, kind] = GetParam();
+  const Grid grid(gx, gy, 1);
+  const Decomposition dec(grid, ranks, kind);
+  const int mirror[kNumFaces] = {kFaceXPos, kFaceXNeg, kFaceYPos, kFaceYNeg};
+  for (int r = 0; r < ranks; ++r) {
+    for (int f = 0; f < kNumFaces; ++f) {
+      const int nb = dec.sub(r).neighbour[static_cast<std::size_t>(f)];
+      if (nb < 0) continue;
+      EXPECT_EQ(dec.sub(nb).neighbour[static_cast<std::size_t>(mirror[f])], r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecompositionP,
+    ::testing::Values(
+        Param{16, 16, 1, Decomposition::Kind::kBlock2D},
+        Param{16, 16, 4, Decomposition::Kind::kBlock2D},
+        Param{32, 16, 8, Decomposition::Kind::kBlock2D},
+        Param{17, 13, 6, Decomposition::Kind::kBlock2D},  // uneven split
+        Param{50, 34, 12, Decomposition::Kind::kBlock2D},
+        Param{16, 16, 4, Decomposition::Kind::kLinear},
+        Param{9, 31, 7, Decomposition::Kind::kLinear},
+        Param{64, 64, 16, Decomposition::Kind::kBlock2D}));
+
+TEST(Decomposition, LinearCutsRows) {
+  const Grid grid(8, 12, 1);
+  const Decomposition dec(grid, 3, Decomposition::Kind::kLinear);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(dec.sub(r).extent.x, 8);
+    EXPECT_EQ(dec.sub(r).extent.y, 4);
+    EXPECT_EQ(dec.sub(r).neighbour[kFaceXNeg], -1);
+    EXPECT_EQ(dec.sub(r).neighbour[kFaceXPos], -1);
+  }
+  EXPECT_EQ(dec.sub(1).neighbour[kFaceYNeg], 0);
+  EXPECT_EQ(dec.sub(1).neighbour[kFaceYPos], 2);
+}
+
+TEST(Decomposition, Block2DPrefersSquareBlocks) {
+  const Grid grid(64, 64, 1);
+  const Decomposition dec(grid, 4, Decomposition::Kind::kBlock2D);
+  EXPECT_EQ(dec.rank_grid_x(), 2);
+  EXPECT_EQ(dec.rank_grid_y(), 2);
+}
+
+TEST(Decomposition, UnevenSplitSpreadsRemainder) {
+  EXPECT_EQ(split_start(10, 3, 0), 0);
+  EXPECT_EQ(split_start(10, 3, 1), 4);  // first piece gets the remainder
+  EXPECT_EQ(split_start(10, 3, 2), 7);
+  EXPECT_EQ(split_start(10, 3, 3), 10);
+}
+
+TEST(Decomposition, InvalidConfigsThrow) {
+  const Grid grid(8, 8, 1);
+  EXPECT_THROW(Decomposition(grid, 0, Decomposition::Kind::kBlock2D), Error);
+  EXPECT_THROW(Decomposition(grid, 9, Decomposition::Kind::kLinear), Error);
+  EXPECT_THROW(Decomposition(grid, 16, 1), Error);  // rx exceeds the x axis
+}
+
+TEST(Decomposition, ExplicitRankGrid) {
+  const Grid grid(12, 6, 1);
+  const Decomposition dec(grid, 3, 2);
+  EXPECT_EQ(dec.num_ranks(), 6);
+  EXPECT_EQ(dec.sub(0).extent.x, 4);
+  EXPECT_EQ(dec.sub(0).extent.y, 3);
+}
+
+TEST(Decomposition, OwnerRejectsOutsideCoords) {
+  const Grid grid(8, 8, 1);
+  const Decomposition dec(grid, 4, Decomposition::Kind::kBlock2D);
+  EXPECT_THROW(dec.owner({8, 0, 0}), Error);
+  EXPECT_THROW(dec.owner({0, -1, 0}), Error);
+}
+
+}  // namespace
+}  // namespace simcov

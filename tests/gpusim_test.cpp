@@ -1,0 +1,241 @@
+// Virtual GPU: kernel execution semantics (grid/block/thread indexing,
+// shared-memory phases, atomics), the host/device access discipline, and
+// event counting — the counters drive the performance model, so their
+// exactness is load-bearing.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+
+namespace simcov::gpusim {
+namespace {
+
+TEST(GpuSim, ParallelForCoversEveryThreadOnce) {
+  Device dev(0);
+  const std::size_t n = 1000;
+  DeviceBuffer<std::uint32_t> buf(dev, n, 0);
+  dev.parallel_for({8, 128}, [&](ThreadCtx& t) {
+    if (t.global_index() >= n) return;
+    auto v = t.global(buf);
+    v.write(t.global_index(), static_cast<std::uint32_t>(t.global_index()));
+  });
+  std::vector<std::uint32_t> host(n);
+  buf.copy_to_host(host);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(host[i], i);
+  EXPECT_EQ(dev.stats().kernel_launches, 1u);
+  EXPECT_EQ(dev.stats().threads_executed, 8u * 128u);
+  EXPECT_EQ(dev.stats().blocks_executed, 8u);
+}
+
+TEST(GpuSim, ThreadCtxIndexing) {
+  Device dev(0);
+  DeviceBuffer<std::uint32_t> blocks(dev, 64, 0);
+  dev.parallel_for({4, 16}, [&](ThreadCtx& t) {
+    EXPECT_EQ(t.global_index(),
+              static_cast<std::uint64_t>(t.block_idx()) * t.block_dim() +
+                  t.thread_idx());
+    EXPECT_EQ(t.grid_size(), 64u);
+    auto b = t.global(blocks);
+    b.write(t.global_index(), t.block_idx());
+  });
+  std::vector<std::uint32_t> host(64);
+  blocks.copy_to_host(host);
+  EXPECT_EQ(host[0], 0u);
+  EXPECT_EQ(host[17], 1u);
+  EXPECT_EQ(host[63], 3u);
+}
+
+TEST(GpuSim, GlobalTrafficIsCounted) {
+  Device dev(0);
+  DeviceBuffer<float> buf(dev, 100, 1.0f);
+  const auto before = dev.stats();
+  dev.parallel_for({1, 100}, [&](ThreadCtx& t) {
+    auto v = t.global(buf);
+    const float x = v.read(t.global_index());
+    v.write(t.global_index(), x * 2.0f);
+  });
+  const auto d = dev.stats().since(before);
+  EXPECT_EQ(d.global_read_bytes, 100u * sizeof(float));
+  EXPECT_EQ(d.global_write_bytes, 100u * sizeof(float));
+  EXPECT_EQ(d.atomic_ops, 0u);
+}
+
+TEST(GpuSim, AtomicsReturnOldValueAndCount) {
+  Device dev(0);
+  DeviceBuffer<std::uint64_t> acc(dev, 1, 0);
+  dev.parallel_for({2, 50}, [&](ThreadCtx& t) {
+    auto v = t.global(acc);
+    v.atomic_add(0, 1);
+  });
+  std::vector<std::uint64_t> host(1);
+  acc.copy_to_host(host);
+  EXPECT_EQ(host[0], 100u);
+  EXPECT_EQ(dev.stats().atomic_ops, 100u);
+
+  DeviceBuffer<std::uint64_t> mx(dev, 1, 5);
+  dev.parallel_for({1, 1}, [&](ThreadCtx& t) {
+    auto v = t.global(mx);
+    EXPECT_EQ(v.atomic_max(0, 3), 5u);  // old value; no change
+    EXPECT_EQ(v.atomic_max(0, 9), 5u);  // old value; updated
+    EXPECT_EQ(v.read(0), 9u);
+  });
+}
+
+TEST(GpuSim, SharedMemoryTreeReductionMatchesSerial) {
+  Device dev(0);
+  const std::size_t n = 4096;
+  DeviceBuffer<float> data(dev, n);
+  std::vector<float> host(n);
+  for (std::size_t i = 0; i < n; ++i) host[i] = static_cast<float>(i % 17) * 0.25f;
+  data.copy_from_host(host);
+  DeviceBuffer<double> out(dev, 1, 0.0);
+
+  const std::uint32_t bd = 64, blocks = 8;
+  dev.launch_blocks({blocks, bd}, [&](BlockCtx& blk) {
+    auto sh = blk.shared<double>(bd);
+    blk.for_each_thread([&](std::uint32_t tid) {
+      auto v = blk.global(data);
+      double acc = 0.0;
+      for (std::size_t i = blk.block_idx() * bd + tid; i < n;
+           i += static_cast<std::size_t>(blocks) * bd) {
+        acc += static_cast<double>(v.read(i));
+      }
+      sh[tid] = acc;
+    });
+    for (std::uint32_t off = bd / 2; off > 0; off >>= 1) {
+      blk.for_each_thread([&](std::uint32_t tid) {
+        if (tid < off) sh[tid] += sh[tid + off];
+      });
+    }
+    blk.for_each_thread([&](std::uint32_t tid) {
+      if (tid == 0) blk.global(out).atomic_add(0, sh[0]);
+    });
+  });
+  std::vector<double> result(1);
+  out.copy_to_host(result);
+  double expect = 0.0;
+  for (float f : host) expect += static_cast<double>(f);
+  EXPECT_NEAR(result[0], expect, 1e-9);
+  // One atomic per block, not per element (the §3.3 contrast).
+  EXPECT_EQ(dev.stats().atomic_ops, static_cast<std::uint64_t>(blocks));
+}
+
+TEST(GpuSim, SharedMemoryIsZeroInitializedPerBlock) {
+  Device dev(0);
+  DeviceBuffer<std::uint32_t> out(dev, 4, 77);
+  dev.launch_blocks({4, 8}, [&](BlockCtx& blk) {
+    auto sh = blk.shared<std::uint32_t>(8);
+    blk.for_each_thread([&](std::uint32_t tid) { sh[tid] += tid; });
+    blk.for_each_thread([&](std::uint32_t tid) {
+      if (tid == 0) {
+        std::uint32_t sum = 0;
+        for (std::uint32_t i = 0; i < 8; ++i) sum += sh[i];
+        blk.global(out).write(blk.block_idx(), sum);
+      }
+    });
+  });
+  std::vector<std::uint32_t> host(4);
+  out.copy_to_host(host);
+  for (auto v : host) EXPECT_EQ(v, 28u);  // 0+..+7, no carry-over
+}
+
+TEST(GpuSim, HostAccessDuringKernelRejected) {
+  Device dev(0);
+  DeviceBuffer<float> buf(dev, 8, 0.0f);
+  std::vector<float> host(8);
+  EXPECT_THROW(dev.parallel_for({1, 1},
+                                [&](ThreadCtx&) { buf.copy_to_host(host); }),
+               Error);
+  // The device recovers: the guard releases the kernel flag.
+  EXPECT_FALSE(dev.kernel_active());
+  buf.copy_to_host(host);
+}
+
+TEST(GpuSim, NestedLaunchRejected) {
+  Device dev(0);
+  EXPECT_THROW(dev.parallel_for({1, 1},
+                                [&](ThreadCtx&) {
+                                  dev.parallel_for({1, 1}, [](ThreadCtx&) {});
+                                }),
+               Error);
+  EXPECT_FALSE(dev.kernel_active());
+}
+
+TEST(GpuSim, ForeignDeviceBufferRejected) {
+  Device a(0), b(1);
+  DeviceBuffer<float> on_b(b, 4, 0.0f);
+  EXPECT_THROW(a.parallel_for({1, 1},
+                              [&](ThreadCtx& t) { (void)t.global(on_b); }),
+               Error);
+}
+
+TEST(GpuSim, OutOfBoundsAccessRejected) {
+  Device dev(0);
+  DeviceBuffer<float> buf(dev, 4, 0.0f);
+  EXPECT_THROW(dev.parallel_for({1, 1},
+                                [&](ThreadCtx& t) {
+                                  (void)t.global(buf).read(4);
+                                }),
+               Error);
+}
+
+TEST(GpuSim, LaunchConfigValidated) {
+  Device dev(0);
+  EXPECT_THROW(dev.parallel_for({0, 8}, [](ThreadCtx&) {}), Error);
+  EXPECT_THROW(dev.parallel_for({1, 2048}, [](ThreadCtx&) {}), Error);
+}
+
+TEST(GpuSim, SharedMemoryCapacityEnforced) {
+  Device dev(0);
+  EXPECT_THROW(dev.launch_blocks({1, 1},
+                                 [&](BlockCtx& blk) {
+                                   blk.shared<double>(170 * 1024 / 8);
+                                 }),
+               Error);
+}
+
+TEST(GpuSim, CopyBoundsChecked) {
+  Device dev(0);
+  DeviceBuffer<float> buf(dev, 4, 0.0f);
+  std::vector<float> five(5);
+  EXPECT_THROW(buf.copy_from_host(five), Error);
+  EXPECT_THROW(buf.copy_to_host(five), Error);
+}
+
+TEST(GpuSim, CopiesCountH2DAndD2H) {
+  Device dev(0);
+  DeviceBuffer<double> buf(dev, 10, 0.0);
+  std::vector<double> host(10, 2.5);
+  buf.copy_from_host(host);
+  buf.copy_to_host(host);
+  EXPECT_EQ(dev.stats().h2d_bytes, 80u);
+  EXPECT_EQ(dev.stats().d2h_bytes, 80u);
+}
+
+TEST(GpuSim, FillSetsValuesAndCountsWrites) {
+  Device dev(0);
+  DeviceBuffer<std::uint32_t> buf(dev, 6, 1);
+  buf.fill(9);
+  std::vector<std::uint32_t> host(6);
+  buf.copy_to_host(host);
+  for (auto v : host) EXPECT_EQ(v, 9u);
+  EXPECT_EQ(dev.stats().global_write_bytes, 24u);
+}
+
+TEST(GpuSim, AllocationTracking) {
+  Device dev(0);
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  {
+    DeviceBuffer<double> a(dev, 100);
+    EXPECT_EQ(dev.allocated_bytes(), 800u);
+    DeviceBuffer<double> b = std::move(a);
+    EXPECT_EQ(dev.allocated_bytes(), 800u);  // move does not double-count
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace simcov::gpusim

@@ -1,0 +1,85 @@
+// Grid geometry: id/coordinate round trips and the neighbour contract.
+
+#include <gtest/gtest.h>
+
+#include "core/grid.hpp"
+
+namespace simcov {
+namespace {
+
+TEST(Grid, RoundTrip2D) {
+  const Grid g(7, 5, 1);
+  for (VoxelId id = 0; id < g.num_voxels(); ++id) {
+    EXPECT_EQ(g.to_id(g.to_coord(id)), id);
+  }
+}
+
+TEST(Grid, RoundTrip3D) {
+  const Grid g(4, 3, 5);
+  EXPECT_EQ(g.num_voxels(), 60u);
+  for (VoxelId id = 0; id < g.num_voxels(); ++id) {
+    EXPECT_EQ(g.to_id(g.to_coord(id)), id);
+  }
+}
+
+TEST(Grid, IdIsRowMajorXFastest) {
+  const Grid g(10, 10, 1);
+  EXPECT_EQ(g.to_id({3, 2, 0}), 23u);
+  EXPECT_EQ(g.to_id({0, 0, 0}), 0u);
+  EXPECT_EQ(g.to_id({9, 9, 0}), 99u);
+}
+
+TEST(Grid, NeighbourContractOrder2D) {
+  const Grid g(5, 5, 1);
+  std::array<Coord, 6> nb;
+  const int n = g.neighbours({2, 2, 0}, nb);
+  ASSERT_EQ(n, 4);
+  EXPECT_EQ(nb[0], (Coord{1, 2, 0}));  // -x first
+  EXPECT_EQ(nb[1], (Coord{3, 2, 0}));  // +x
+  EXPECT_EQ(nb[2], (Coord{2, 1, 0}));  // -y
+  EXPECT_EQ(nb[3], (Coord{2, 3, 0}));  // +y
+}
+
+TEST(Grid, NeighboursClippedAtBoundary) {
+  const Grid g(5, 5, 1);
+  std::array<Coord, 6> nb;
+  EXPECT_EQ(g.neighbours({0, 0, 0}, nb), 2);
+  EXPECT_EQ(nb[0], (Coord{1, 0, 0}));  // +x survives, -x clipped
+  EXPECT_EQ(nb[1], (Coord{0, 1, 0}));
+  EXPECT_EQ(g.neighbours({4, 2, 0}, nb), 3);
+}
+
+TEST(Grid, Neighbours3DIncludeZ) {
+  const Grid g(3, 3, 3);
+  std::array<Coord, 6> nb;
+  EXPECT_EQ(g.neighbours({1, 1, 1}, nb), 6);
+  EXPECT_EQ(nb[4], (Coord{1, 1, 0}));
+  EXPECT_EQ(nb[5], (Coord{1, 1, 2}));
+  // 2D grids must never look across z even at z bounds.
+  const Grid g2(3, 3, 1);
+  EXPECT_EQ(g2.neighbours({1, 1, 0}, nb), 4);
+}
+
+TEST(Grid, SingleVoxelGridHasNoNeighbours) {
+  const Grid g(1, 1, 1);
+  std::array<Coord, 6> nb;
+  EXPECT_EQ(g.neighbours({0, 0, 0}, nb), 0);
+}
+
+TEST(Grid, InvalidDimensionsThrow) {
+  EXPECT_THROW(Grid(0, 5, 1), Error);
+  EXPECT_THROW(Grid(5, -1, 1), Error);
+  EXPECT_THROW(Grid(1 << 16, 1 << 16, 2), Error);  // > 2^32 voxels
+}
+
+TEST(Grid, InBounds) {
+  const Grid g(4, 4, 1);
+  EXPECT_TRUE(g.in_bounds({0, 0, 0}));
+  EXPECT_TRUE(g.in_bounds({3, 3, 0}));
+  EXPECT_FALSE(g.in_bounds({4, 0, 0}));
+  EXPECT_FALSE(g.in_bounds({0, -1, 0}));
+  EXPECT_FALSE(g.in_bounds({0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace simcov

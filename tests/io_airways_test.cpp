@@ -1,0 +1,235 @@
+// I/O (rendering, CSV, checkpoints) and the airway structure generator.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/airways.hpp"
+#include "core/foi.hpp"
+#include "core/grid.hpp"
+#include "core/reference_sim.hpp"
+#include "io/snapshot.hpp"
+
+namespace simcov {
+namespace {
+
+namespace fs = std::filesystem;
+
+SimParams fast() {
+  SimParams p = SimParams::bench_fast();
+  p.dim_x = 32;
+  p.dim_y = 32;
+  p.num_foi = 2;
+  p.tcell_initial_delay = 20;
+  p.tcell_generation_rate = 6.0;
+  return p;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("simcov_test_" + std::to_string(::getpid()));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+// ---------------------------------------------------------------------------
+// Airways
+// ---------------------------------------------------------------------------
+
+TEST(Airways, TreeBifurcates) {
+  const Grid g(128, 128, 1);
+  AirwayParams p;
+  p.generations = 4;
+  const auto tree = airway_tree(g, p);
+  // A full binary tree of depth 4: 1 + 2 + 4 + 8 = 15 segments.
+  EXPECT_EQ(tree.size(), 15u);
+  EXPECT_EQ(tree[0].generation, 0);
+  // Children are shorter and thinner than the root.
+  double root_len = std::hypot(tree[0].x1 - tree[0].x0, tree[0].y1 - tree[0].y0);
+  for (const auto& s : tree) {
+    if (s.generation == 0) continue;
+    EXPECT_LT(std::hypot(s.x1 - s.x0, s.y1 - s.y0), root_len);
+    EXPECT_LT(s.halfwidth, tree[0].halfwidth + 1e-12);
+  }
+}
+
+TEST(Airways, VoxelsAreSortedUniqueInBounds) {
+  const Grid g(96, 96, 1);
+  AirwayParams p;
+  const auto voxels = airway_voxels(g, p);
+  EXPECT_GT(voxels.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(voxels.begin(), voxels.end()));
+  EXPECT_EQ(std::adjacent_find(voxels.begin(), voxels.end()), voxels.end());
+  for (VoxelId v : voxels) EXPECT_LT(v, g.num_voxels());
+}
+
+TEST(Airways, DeterministicInSeed) {
+  const Grid g(96, 96, 1);
+  AirwayParams a, b;
+  a.seed = b.seed = 3;
+  EXPECT_EQ(airway_voxels(g, a), airway_voxels(g, b));
+  b.seed = 4;
+  EXPECT_NE(airway_voxels(g, a), airway_voxels(g, b));
+}
+
+TEST(Airways, ExtrudesThroughZ) {
+  const Grid g2(64, 64, 1), g3(64, 64, 3);
+  AirwayParams p;
+  const auto flat = airway_voxels(g2, p);
+  const auto deep = airway_voxels(g3, p);
+  EXPECT_EQ(deep.size(), 3 * flat.size());
+}
+
+TEST(Airways, InvalidParamsRejected) {
+  const Grid g(64, 64, 1);
+  AirwayParams p;
+  p.generations = 0;
+  EXPECT_THROW(airway_tree(g, p), Error);
+  p.generations = 4;
+  p.root_halfwidth = 0.1;
+  EXPECT_THROW(airway_tree(g, p), Error);
+}
+
+TEST(Airways, UsableAsSimulationStructure) {
+  SimParams p = fast();
+  p.dim_x = 64;
+  p.dim_y = 64;
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  AirwayParams ap;
+  ap.generations = 4;
+  const auto airways = airway_voxels(g, ap);
+  // Seed away from the tree.
+  std::vector<VoxelId> foi = {g.to_id({4, 60, 0})};
+  ReferenceSim sim(p, foi, airways);
+  sim.run(60);
+  EXPECT_EQ(sim.history().back().epi_counts[0], airways.size());  // kEmpty
+}
+
+// ---------------------------------------------------------------------------
+// Rendering + CSV
+// ---------------------------------------------------------------------------
+
+TEST(Io, RenderStateColorsStates) {
+  SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  std::vector<VoxelId> airway = {g.to_id({0, 0, 0})};
+  ReferenceSim sim(p, {g.to_id({16, 16, 0})}, airway);
+  const io::Image img = io::render_state(sim);
+  ASSERT_EQ(img.width, 32);
+  ASSERT_EQ(img.height, 32);
+  ASSERT_EQ(img.rgb.size(), 3u * 32 * 32);
+  // Airway voxel renders black, healthy tissue light.
+  EXPECT_EQ(img.pixel(0, 0)[0], 0);
+  EXPECT_GT(img.pixel(5, 5)[0], 200);
+}
+
+TEST(Io, WritePpmProducesValidHeader) {
+  TempDir dir;
+  io::Image img;
+  img.width = 4;
+  img.height = 2;
+  img.rgb.assign(24, 128);
+  const std::string path = dir.file("img.ppm");
+  io::write_ppm(path, img);
+  std::ifstream in(path, std::ios::binary);
+  std::string magic, dims;
+  std::getline(in, magic);
+  std::getline(in, dims);
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(dims, "4 2");
+}
+
+TEST(Io, WritePpmRejectsBadTargets) {
+  io::Image img;
+  img.width = 1;
+  img.height = 1;
+  img.rgb.assign(3, 0);
+  EXPECT_THROW(io::write_ppm("/nonexistent_dir/x.ppm", img), Error);
+  img.width = 0;
+  EXPECT_THROW(io::write_ppm("/tmp/x.ppm", img), Error);
+}
+
+TEST(Io, SeriesCsvRoundTripShape) {
+  TempDir dir;
+  SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, 2, p.seed));
+  sim.run(10);
+  const std::string path = dir.file("series.csv");
+  io::write_series_csv(path, sim.history());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 11);  // header + 10 steps
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+TEST(Io, CheckpointResumesBitIdentically) {
+  SimParams p = fast();
+  p.num_steps = 120;
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  const auto foi = foi_uniform_random(g, 2, p.seed);
+
+  // Uninterrupted run.
+  ReferenceSim full(p, foi);
+  full.run(120);
+
+  // Run 60 steps, checkpoint through a stream, resume 60 more.
+  ReferenceSim first(p, foi);
+  first.run(60);
+  std::stringstream buf;
+  first.save(buf);
+  ReferenceSim resumed = ReferenceSim::load(buf);
+  EXPECT_EQ(resumed.current_step(), 60u);
+  EXPECT_EQ(resumed.state_digest(), first.state_digest());
+  resumed.run(60);
+  EXPECT_EQ(resumed.state_digest(), full.state_digest());
+  EXPECT_EQ(resumed.history().size(), full.history().size());
+  EXPECT_EQ(resumed.history().back().tcells_tissue,
+            full.history().back().tcells_tissue);
+}
+
+TEST(Io, CheckpointFileHelpers) {
+  TempDir dir;
+  SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, 2, p.seed));
+  sim.run(25);
+  const std::string path = dir.file("ckpt.bin");
+  io::save_checkpoint(path, sim);
+  ReferenceSim loaded = io::load_checkpoint(path);
+  EXPECT_EQ(loaded.state_digest(), sim.state_digest());
+  EXPECT_THROW(io::load_checkpoint(dir.file("missing.bin")), Error);
+}
+
+TEST(Io, CorruptCheckpointRejected) {
+  std::stringstream buf;
+  buf << "not a checkpoint at all";
+  EXPECT_THROW(ReferenceSim::load(buf), Error);
+  // Truncated: valid magic, nothing else.
+  std::stringstream buf2;
+  buf2.write("SCV1", 4);
+  EXPECT_THROW(ReferenceSim::load(buf2), Error);
+}
+
+}  // namespace
+}  // namespace simcov

@@ -1,0 +1,125 @@
+// Tiled memory layout (§3.2, Fig. 3): index round trips, strip placement,
+// tile membership — parameterized over domain shapes and tile sizes
+// including non-dividing (ragged) tiles.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "simcov_gpu/layout.hpp"
+
+namespace simcov::gpu {
+namespace {
+
+using Param = std::tuple<int, int, int>;  // w, h, tile
+
+class TiledLayoutP : public ::testing::TestWithParam<Param> {};
+
+TEST_P(TiledLayoutP, InteriorIndicesAreUniqueAndInBounds) {
+  const auto [w, h, tile] = GetParam();
+  const TiledLayout lay(w, h, tile);
+  std::set<std::uint32_t> seen;
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      const std::uint32_t s = lay.index(x, y);
+      ASSERT_LT(s, lay.interior_slots());
+      ASSERT_TRUE(seen.insert(s).second) << "collision at " << x << "," << y;
+    }
+  }
+}
+
+TEST_P(TiledLayoutP, SlotToXyInvertsIndex) {
+  const auto [w, h, tile] = GetParam();
+  const TiledLayout lay(w, h, tile);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      std::int32_t rx, ry;
+      lay.slot_to_xy(lay.index(x, y), rx, ry);
+      ASSERT_EQ(rx, x);
+      ASSERT_EQ(ry, y);
+    }
+  }
+}
+
+TEST_P(TiledLayoutP, GhostStripsAreDisjointFromInteriorAndEachOther) {
+  const auto [w, h, tile] = GetParam();
+  const TiledLayout lay(w, h, tile);
+  std::set<std::uint32_t> seen;
+  for (std::int32_t y = 0; y < h; ++y) {
+    seen.insert(lay.index(-1, y));
+    seen.insert(lay.index(w, y));
+  }
+  for (std::int32_t x = 0; x < w; ++x) {
+    seen.insert(lay.index(x, -1));
+    seen.insert(lay.index(x, h));
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(2 * w + 2 * h));
+  for (std::uint32_t s : seen) {
+    ASSERT_GE(s, lay.interior_slots());
+    ASSERT_LT(s, lay.size());
+  }
+}
+
+TEST_P(TiledLayoutP, TileMembershipConsistent) {
+  const auto [w, h, tile] = GetParam();
+  const TiledLayout lay(w, h, tile);
+  for (std::int32_t y = 0; y < h; ++y) {
+    for (std::int32_t x = 0; x < w; ++x) {
+      const std::int32_t t = lay.tile_of(x, y);
+      ASSERT_GE(t, 0);
+      ASSERT_LT(t, lay.num_tiles());
+      // The slot must live inside the tile's contiguous block.
+      const std::uint32_t s = lay.index(x, y);
+      const auto spt = static_cast<std::uint32_t>(lay.slots_per_tile());
+      ASSERT_EQ(static_cast<std::int32_t>(s / spt), t);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TiledLayoutP,
+    ::testing::Values(Param{16, 16, 4}, Param{16, 16, 8}, Param{32, 16, 8},
+                      Param{17, 13, 4},   // ragged edge tiles
+                      Param{9, 9, 8},     // mostly padding
+                      Param{8, 8, 8},     // single tile
+                      Param{5, 3, 1},     // 1x1 tiles
+                      Param{64, 48, 16}));
+
+TEST(TiledLayout, VoxelsWithinATileAreContiguous) {
+  const TiledLayout lay(16, 16, 4);
+  // Fig. 3B: the tile's voxels occupy one contiguous block, row-major
+  // within the tile (the zig-zag path).
+  const std::uint32_t base = lay.index(4, 4);  // origin of tile (1,1)
+  EXPECT_EQ(lay.index(5, 4), base + 1);
+  EXPECT_EQ(lay.index(4, 5), base + 4);
+  EXPECT_EQ(lay.index(7, 7), base + 15);
+}
+
+TEST(TiledLayout, BorderTiles) {
+  const TiledLayout lay(32, 32, 8);  // 4x4 tiles
+  int border = 0;
+  for (std::int32_t t = 0; t < lay.num_tiles(); ++t) {
+    border += lay.is_border_tile(t);
+  }
+  EXPECT_EQ(border, 12);  // all but the inner 2x2
+  EXPECT_TRUE(lay.is_border_tile(0));
+  EXPECT_FALSE(lay.is_border_tile(5));  // tile (1,1)
+}
+
+TEST(TiledLayout, SizeAccounting) {
+  const TiledLayout lay(17, 13, 4);  // 5x4 tiles of 16 slots + ghosts
+  EXPECT_EQ(lay.tiles_x(), 5);
+  EXPECT_EQ(lay.tiles_y(), 4);
+  EXPECT_EQ(lay.interior_slots(), 5u * 4u * 16u);
+  EXPECT_EQ(lay.size(), lay.interior_slots() + 2u * 13u + 2u * 17u);
+}
+
+TEST(TiledLayout, InvalidConfigsThrow) {
+  EXPECT_THROW(TiledLayout(0, 4, 2), Error);
+  EXPECT_THROW(TiledLayout(4, 4, 0), Error);
+  EXPECT_THROW(TiledLayout(64, 64, 33), Error);  // block-per-tile limit
+}
+
+}  // namespace
+}  // namespace simcov::gpu

@@ -1,0 +1,140 @@
+// Performance model: pricing, phase accounting, the bulk-synchronous
+// max-fold, and area-scale extrapolation.
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/cost_model.hpp"
+
+namespace simcov::perfmodel {
+namespace {
+
+MachineSpec spec() { return MachineSpec::perlmutter_like(); }
+
+TEST(CostModel, ZeroSampleIsFree) {
+  const CostModel m(spec(), Backend::kGpu, 4);
+  EXPECT_DOUBLE_EQ(m.price(WorkSample{}), 0.0);
+}
+
+TEST(CostModel, GpuPricingMonotoneInEachCounter) {
+  const CostModel m(spec(), Backend::kGpu, 4);
+  WorkSample base;
+  const double t0 = m.price(base);
+  auto bump = [&](auto mutate) {
+    WorkSample s = base;
+    mutate(s);
+    return m.price(s);
+  };
+  EXPECT_GT(bump([](WorkSample& s) { s.dev.kernel_launches = 10; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.dev.threads_executed = 1000; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.dev.global_read_bytes = 1 << 20; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.dev.atomic_ops = 1000; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.dev.h2d_bytes = 1 << 20; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.comm.puts = 4; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.comm.put_bytes = 1 << 20; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.comm.reductions = 1; }), t0);
+}
+
+TEST(CostModel, CpuPricingUsesCpuCounters) {
+  const CostModel m(spec(), Backend::kCpu, 4);
+  WorkSample s;
+  s.dev.global_read_bytes = 1 << 30;  // GPU counters ignored on CPU
+  EXPECT_DOUBLE_EQ(m.price(s), 0.0);
+  s.cpu_voxel_updates = 1000;
+  EXPECT_GT(m.price(s), 0.0);
+}
+
+TEST(CostModel, MemPenaltyScalesTrafficAndAtomics) {
+  const CostModel m(spec(), Backend::kGpu, 4);
+  WorkSample s;
+  s.dev.global_read_bytes = 1 << 20;
+  s.dev.atomic_ops = 1000;
+  const double fast = m.price(s);
+  s.mem_penalty = 1.6;
+  EXPECT_NEAR(m.price(s), 1.6 * fast, 1e-12);
+}
+
+TEST(CostModel, AreaScaleExtrapolatesPerVoxelWork) {
+  WorkSample s;
+  s.cpu_voxel_updates = 1000;
+  const CostModel m1(spec(), Backend::kCpu, 4, 1.0);
+  const CostModel m4(spec(), Backend::kCpu, 4, 4.0);
+  EXPECT_NEAR(m4.price(s), 4.0 * m1.price(s), 1e-12);
+  // Halo bytes scale with the boundary: sqrt(area).
+  WorkSample h;
+  h.comm.put_bytes = 1 << 20;
+  EXPECT_NEAR(m4.price(h), 2.0 * m1.price(h), 1e-12);
+}
+
+TEST(CostModel, CollectivesScaleWithLogWorldSize) {
+  WorkSample s;
+  s.comm.reductions = 100;
+  const CostModel small(spec(), Backend::kGpu, 3);
+  const CostModel big(spec(), Backend::kGpu, 63);
+  EXPECT_NEAR(big.price(s), 3.0 * small.price(s), 1e-9);  // log2(64)/log2(4)
+}
+
+TEST(CostModel, InvalidConstruction) {
+  EXPECT_THROW(CostModel(spec(), Backend::kGpu, 0), Error);
+  EXPECT_THROW(CostModel(spec(), Backend::kGpu, 4, 0.5), Error);
+}
+
+TEST(RankCostLog, AccumulatesPhasesPerStep) {
+  const CostModel m(spec(), Backend::kCpu, 2);
+  RankCostLog log(m);
+  WorkSample s;
+  s.cpu_voxel_updates = 100;
+  log.add(Phase::kTCells, s);
+  log.add(Phase::kTCells, s);  // same phase twice accumulates
+  log.add(Phase::kReduceStats, s);
+  log.end_step();
+  log.end_step();  // an empty step
+  ASSERT_EQ(log.num_steps(), 2u);
+  EXPECT_NEAR(log.cost(0, Phase::kTCells), 2 * m.price(s), 1e-15);
+  EXPECT_NEAR(log.cost(0, Phase::kReduceStats), m.price(s), 1e-15);
+  EXPECT_DOUBLE_EQ(log.cost(1, Phase::kTCells), 0.0);
+  EXPECT_THROW(log.cost(2, Phase::kTCells), Error);
+}
+
+TEST(Fold, TakesPerStepPerPhaseMax) {
+  const CostModel m(spec(), Backend::kCpu, 2);
+  RankCostLog a(m), b(m);
+  WorkSample big, small;
+  big.cpu_voxel_updates = 1000;
+  small.cpu_voxel_updates = 10;
+  // Step 0: a busy in tcells, b busy in reduce.
+  a.add(Phase::kTCells, big);
+  b.add(Phase::kTCells, small);
+  a.add(Phase::kReduceStats, small);
+  b.add(Phase::kReduceStats, big);
+  a.end_step();
+  b.end_step();
+  std::vector<RankCostLog> logs;
+  logs.push_back(a);
+  logs.push_back(b);
+  const RunCost rc = fold(std::span<const RankCostLog>(logs));
+  const double expect = 2 * m.price(big);  // max in each phase is `big`
+  EXPECT_NEAR(rc.total_s, expect, 1e-15);
+  EXPECT_NEAR(rc.update_agents_s(), m.price(big), 1e-15);
+  EXPECT_NEAR(rc.reduce_stats_s(), m.price(big), 1e-15);
+}
+
+TEST(Fold, RejectsMismatchedStepCounts) {
+  const CostModel m(spec(), Backend::kCpu, 2);
+  RankCostLog a(m), b(m);
+  a.end_step();
+  std::vector<RankCostLog> logs;
+  logs.push_back(a);
+  logs.push_back(b);
+  EXPECT_THROW(fold(std::span<const RankCostLog>(logs)), Error);
+}
+
+TEST(Phases, NamesAndCategories) {
+  EXPECT_STREQ(phase_name(Phase::kReduceStats), "reduce_stats");
+  EXPECT_STREQ(phase_name(Phase::kTileSweep), "tile_sweep");
+  EXPECT_TRUE(is_update_phase(Phase::kTCells));
+  EXPECT_TRUE(is_update_phase(Phase::kHalo));
+  EXPECT_FALSE(is_update_phase(Phase::kReduceStats));
+}
+
+}  // namespace
+}  // namespace simcov::perfmodel

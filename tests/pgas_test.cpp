@@ -1,0 +1,206 @@
+// PGAS runtime: barriers, RPC delivery and quiescence, collectives,
+// one-sided channels, counters, and misuse rejection.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "pgas/runtime.hpp"
+#include "util/error.hpp"
+
+namespace simcov::pgas {
+namespace {
+
+TEST(Pgas, RunsEveryRankOnce) {
+  Runtime rt(6);
+  std::vector<std::atomic<int>> hits(6);
+  rt.run([&](Rank& r) { hits[static_cast<std::size_t>(r.id())]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Pgas, WorldSizeAndIds) {
+  Runtime rt(3);
+  rt.run([&](Rank& r) {
+    EXPECT_EQ(r.world_size(), 3);
+    EXPECT_GE(r.id(), 0);
+    EXPECT_LT(r.id(), 3);
+  });
+}
+
+TEST(Pgas, RpcQuiescenceDeliversAll) {
+  Runtime rt(4);
+  std::vector<std::atomic<int>> inbox(4);
+  rt.run([&](Rank& r) {
+    // Everyone RPCs everyone else.
+    for (int t = 0; t < r.world_size(); ++t) {
+      if (t == r.id()) continue;
+      auto* slot = &inbox[static_cast<std::size_t>(t)];
+      r.rpc(t, [slot] { slot->fetch_add(1); });
+    }
+    r.rpc_quiescence();
+    EXPECT_EQ(inbox[static_cast<std::size_t>(r.id())].load(), 3);
+  });
+}
+
+TEST(Pgas, RpcsRunOnTargetDuringProgress) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    static std::atomic<int> executed{0};
+    if (r.id() == 0) {
+      r.rpc(1, [] { executed.fetch_add(1); });
+    }
+    r.rpc_quiescence();
+    EXPECT_EQ(executed.load(), 1);
+    r.barrier();
+  });
+}
+
+TEST(Pgas, AllreduceSumScalar) {
+  Runtime rt(5);
+  rt.run([&](Rank& r) {
+    const double total = r.allreduce_sum(static_cast<double>(r.id() + 1));
+    EXPECT_DOUBLE_EQ(total, 15.0);  // 1+2+3+4+5
+    const std::uint64_t t2 = r.allreduce_sum(static_cast<std::uint64_t>(2));
+    EXPECT_EQ(t2, 10u);
+  });
+}
+
+TEST(Pgas, AllreduceSumVector) {
+  Runtime rt(3);
+  rt.run([&](Rank& r) {
+    std::vector<double> mine = {1.0, static_cast<double>(r.id()), 0.5};
+    const auto out = r.allreduce_sum(
+        std::span<const double>(mine.data(), mine.size()));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 3.0);  // 0+1+2
+    EXPECT_DOUBLE_EQ(out[2], 1.5);
+  });
+}
+
+TEST(Pgas, AllreduceMaxKeepsFull64Bits) {
+  Runtime rt(4);
+  rt.run([&](Rank& r) {
+    // Values that a double round-trip would corrupt.
+    const std::uint64_t mine = 0xdeadbeef00000001ULL + static_cast<std::uint64_t>(r.id());
+    const std::uint64_t mx = r.allreduce_max(mine);
+    EXPECT_EQ(mx, 0xdeadbeef00000004ULL);
+  });
+}
+
+TEST(Pgas, AllreduceXor) {
+  Runtime rt(4);
+  rt.run([&](Rank& r) {
+    const std::uint64_t mine = 1ULL << (r.id() * 8);
+    EXPECT_EQ(r.allreduce_xor(mine), 0x01010101ULL);
+  });
+}
+
+TEST(Pgas, AllreduceSumU64RejectsHugeValues) {
+  Runtime rt(1);
+  rt.run([&](Rank& r) {
+    EXPECT_THROW(r.allreduce_sum(static_cast<std::uint64_t>(1) << 60), Error);
+  });
+}
+
+TEST(Pgas, ChannelsPutAndRead) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    r.register_channel(7, 16);
+    r.barrier();
+    std::vector<std::byte> data(8);
+    std::memset(data.data(), 0x40 + r.id(), data.size());
+    r.put(1 - r.id(), 7, data, /*offset=*/4);
+    r.barrier();
+    auto view = r.channel(7);
+    ASSERT_EQ(view.size(), 16u);
+    EXPECT_EQ(static_cast<int>(view[4]), 0x40 + (1 - r.id()));
+    EXPECT_EQ(static_cast<int>(view[0]), 0);  // untouched prefix
+  });
+}
+
+TEST(Pgas, PutMisuseRejected) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    r.register_channel(1, 8);
+    r.barrier();
+    std::vector<std::byte> data(9);
+    if (r.id() == 0) {
+      EXPECT_THROW(r.put(1, 1, data), Error);       // overflow
+      EXPECT_THROW(r.put(1, 99, data), Error);      // unregistered channel
+      EXPECT_THROW(r.put(5, 1, data), Error);       // bad rank
+      EXPECT_THROW((void)r.channel(42), Error);     // unregistered read
+    }
+    r.barrier();
+  });
+}
+
+TEST(Pgas, RpcToBadRankRejected) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    EXPECT_THROW(r.rpc(7, [] {}), Error);
+  });
+}
+
+TEST(Pgas, CountersTrackTraffic) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    r.register_channel(0, 64);
+    r.barrier();
+    std::vector<std::byte> data(64);
+    r.put(1 - r.id(), 0, data);
+    r.rpc(1 - r.id(), [] {}, /*approx_bytes=*/100);
+    r.rpc_quiescence();
+    r.allreduce_sum(1.0);
+    EXPECT_EQ(r.stats().puts, 1u);
+    EXPECT_EQ(r.stats().put_bytes, 64u);
+    EXPECT_EQ(r.stats().rpcs_sent, 1u);
+    EXPECT_EQ(r.stats().rpc_bytes, 100u);
+    EXPECT_GE(r.stats().barriers, 3u);
+    EXPECT_EQ(r.stats().reductions, 1u);
+  });
+  const CommStats total = rt.total_stats();
+  EXPECT_EQ(total.puts, 2u);
+  EXPECT_EQ(total.rpcs_sent, 2u);
+  EXPECT_EQ(rt.rank_stats(0).puts, 1u);
+}
+
+TEST(Pgas, StatsSinceSnapshot) {
+  CommStats a;
+  a.puts = 5;
+  a.put_bytes = 100;
+  CommStats snap = a;
+  a.puts = 9;
+  a.put_bytes = 160;
+  const CommStats d = a.since(snap);
+  EXPECT_EQ(d.puts, 4u);
+  EXPECT_EQ(d.put_bytes, 60u);
+}
+
+TEST(Pgas, RunCanBeRepeated) {
+  Runtime rt(3);
+  for (int i = 0; i < 3; ++i) {
+    rt.run([&](Rank& r) {
+      // Channels don't persist between jobs.
+      EXPECT_THROW((void)r.channel(0), Error);
+      r.register_channel(0, 4);
+      EXPECT_EQ(r.allreduce_sum(1.0), 3.0);
+    });
+  }
+}
+
+TEST(Pgas, RankExceptionPropagates) {
+  Runtime rt(1);
+  EXPECT_THROW(rt.run([](Rank&) { throw Error("boom"); }), Error);
+}
+
+TEST(Pgas, InvalidRankCountRejected) {
+  EXPECT_THROW(Runtime(0), Error);
+  EXPECT_THROW(Runtime(-3), Error);
+}
+
+}  // namespace
+}  // namespace simcov::pgas

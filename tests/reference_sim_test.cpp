@@ -1,0 +1,194 @@
+// Serial reference simulator: simulation invariants, determinism, and
+// model-level behaviours (infection spreads, T cells respond, airways are
+// respected).
+
+#include <gtest/gtest.h>
+
+#include "core/foi.hpp"
+#include "core/grid.hpp"
+#include "core/reference_sim.hpp"
+
+namespace simcov {
+namespace {
+
+SimParams fast(std::int32_t dim = 48) {
+  SimParams p = SimParams::bench_fast();
+  p.dim_x = dim;
+  p.dim_y = dim;
+  p.num_foi = 3;
+  p.tcell_initial_delay = 30;
+  p.tcell_generation_rate = 6.0;
+  p.incubation_period = 10;
+  return p;
+}
+
+TEST(ReferenceSim, EpiCountsAlwaysSumToGridSize) {
+  const SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  for (int s = 0; s < 150; ++s) {
+    sim.step();
+    const StepStats& st = sim.history().back();
+    std::uint64_t total = 0;
+    for (auto c : st.epi_counts) total += c;
+    ASSERT_EQ(total, g.num_voxels());
+  }
+}
+
+TEST(ReferenceSim, InfectionSpreadsAndImmuneSystemResponds) {
+  const SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  sim.run(200);
+  const StepStats& st = sim.history().back();
+  EXPECT_GT(st.virus_total, 0.0);
+  EXPECT_GT(st.chem_total, 0.0);
+  EXPECT_GT(st.incubating() + st.expressing() + st.apoptotic() + st.dead(),
+            0u);
+  EXPECT_GT(st.tcells_tissue, 0u);  // extravasation happened
+  EXPECT_GT(st.apoptotic() + st.dead(), 0u);
+}
+
+TEST(ReferenceSim, BindingsOccur) {
+  // A run long enough for T cells to find expressing cells must show
+  // binding (apoptotic cells exist while T cells are present).
+  const SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  bool saw_apoptotic = false;
+  for (int s = 0; s < 250 && !saw_apoptotic; ++s) {
+    sim.step();
+    saw_apoptotic = sim.history().back().apoptotic() > 0;
+  }
+  EXPECT_TRUE(saw_apoptotic);
+}
+
+TEST(ReferenceSim, AtMostOneTCellPerVoxelAndCountsMatch) {
+  const SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  for (int s = 0; s < 120; ++s) {
+    sim.step();
+    std::uint64_t counted = 0;
+    for (VoxelId v = 0; v < g.num_voxels(); ++v) {
+      const VoxelState vs = sim.voxel(v);
+      ASSERT_LE(vs.tcell, 1);
+      if (vs.tcell) {
+        counted++;
+        ASSERT_GT(vs.tcell_timer + vs.tcell_bind, 0u);
+      }
+    }
+    ASSERT_EQ(counted, sim.history().back().tcells_tissue);
+  }
+}
+
+TEST(ReferenceSim, FieldsStayInUnitRange) {
+  const SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  sim.run(100);
+  for (VoxelId v = 0; v < g.num_voxels(); ++v) {
+    const VoxelState vs = sim.voxel(v);
+    ASSERT_GE(vs.virus, 0.0f);
+    ASSERT_LE(vs.virus, 1.0f);
+    ASSERT_GE(vs.chem, 0.0f);
+    ASSERT_LE(vs.chem, 1.0f);
+  }
+}
+
+TEST(ReferenceSim, EmptyVoxelsExcludeEverything) {
+  SimParams p = fast(32);
+  p.num_foi = 0;
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  // A vertical airway column through the middle.
+  std::vector<VoxelId> empties;
+  for (std::int32_t y = 0; y < 32; ++y) empties.push_back(g.to_id({16, y, 0}));
+  // Seed next to the airway.
+  ReferenceSim sim(p, {g.to_id({15, 16, 0})}, empties);
+  sim.run(150);
+  for (VoxelId v : empties) {
+    const VoxelState vs = sim.voxel(v);
+    ASSERT_EQ(vs.epi_state, EpiState::kEmpty);
+    ASSERT_EQ(vs.tcell, 0);  // T cells never enter airways
+  }
+}
+
+TEST(ReferenceSim, FoiOnEmptyVoxelRejected) {
+  SimParams p = fast(16);
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  const VoxelId v = g.to_id({4, 4, 0});
+  EXPECT_THROW(ReferenceSim(p, {v}, {v}), Error);
+}
+
+TEST(ReferenceSim, DeterministicForSameSeed) {
+  const SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  const auto foi = foi_uniform_random(g, p.num_foi, p.seed);
+  ReferenceSim a(p, foi), b(p, foi);
+  a.run(100);
+  b.run(100);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.history().back().tcells_tissue, b.history().back().tcells_tissue);
+}
+
+TEST(ReferenceSim, DifferentSeedsDiverge) {
+  SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  const auto foi = foi_uniform_random(g, p.num_foi, 1);
+  ReferenceSim a(p, foi);
+  p.seed = p.seed + 1;
+  ReferenceSim b(p, foi);
+  a.run(60);
+  b.run(60);
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(ReferenceSim, NoFoiMeansNothingHappens) {
+  SimParams p = fast();
+  p.num_foi = 0;
+  ReferenceSim sim(p, {});
+  sim.run(80);
+  const StepStats& st = sim.history().back();
+  EXPECT_EQ(st.virus_total, 0.0);
+  EXPECT_EQ(st.tcells_tissue, 0u);
+  EXPECT_EQ(st.healthy(),
+            static_cast<std::uint64_t>(p.dim_x) * static_cast<std::uint64_t>(p.dim_y));
+}
+
+TEST(ReferenceSim, VirusMonotoneGrowthBeforeImmuneResponse) {
+  SimParams p = fast();
+  p.tcell_initial_delay = 1000000;  // no T cells ever
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  sim.run(150);
+  const auto virus = series_virus(sim.history());
+  // Once production outpaces decay the total should trend upward; compare
+  // windows rather than every step (decay can dip early).
+  EXPECT_GT(virus[149], virus[75]);
+  EXPECT_GT(virus[75], virus[20]);
+  EXPECT_EQ(sim.history().back().tcells_tissue, 0u);
+}
+
+TEST(ReferenceSim, ThreeDGridRuns) {
+  SimParams p = fast(12);
+  p.dim_z = 4;
+  p.num_foi = 2;
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  sim.run(60);
+  EXPECT_GT(sim.history().back().virus_total, 0.0);
+}
+
+TEST(ReferenceSim, VascularPoolFeedsTissue) {
+  const SimParams p = fast();
+  const Grid g(p.dim_x, p.dim_y, p.dim_z);
+  ReferenceSim sim(p, foi_uniform_random(g, p.num_foi, p.seed));
+  sim.run(250);
+  std::uint64_t total_extrav = 0;
+  for (const auto& st : sim.history()) total_extrav += st.extravasated;
+  EXPECT_GT(total_extrav, 0u);
+  EXPECT_GE(sim.vascular_pool(), 0.0);
+}
+
+}  // namespace
+}  // namespace simcov

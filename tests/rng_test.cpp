@@ -1,0 +1,160 @@
+// Counter-based RNG: determinism, stream independence, statistical smoke
+// checks, bid construction (§3.1 tie-freedom).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace simcov {
+namespace {
+
+using VoxelId = std::uint64_t;
+
+TEST(CounterRng, DeterministicAcrossInstances) {
+  const CounterRng a(99), b(99);
+  for (std::uint64_t step = 0; step < 100; ++step) {
+    EXPECT_EQ(a.draw(step, 7, RngStream::kInfection),
+              b.draw(step, 7, RngStream::kInfection));
+  }
+}
+
+TEST(CounterRng, SeedChangesDraws) {
+  const CounterRng a(1), b(2);
+  int same = 0;
+  for (std::uint64_t step = 0; step < 64; ++step) {
+    same += (a.draw(step, 0, RngStream::kGeneric) ==
+             b.draw(step, 0, RngStream::kGeneric));
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CounterRng, StreamsAreIndependent) {
+  const CounterRng rng(5);
+  EXPECT_NE(rng.draw(3, 11, RngStream::kTCellBid),
+            rng.draw(3, 11, RngStream::kTCellBindBid));
+  EXPECT_NE(rng.draw(3, 11, RngStream::kInfection),
+            rng.draw(3, 11, RngStream::kExtravasate));
+}
+
+TEST(CounterRng, SaltChangesDraws) {
+  const CounterRng rng(5);
+  EXPECT_NE(rng.draw(1, 2, RngStream::kGeneric, 0),
+            rng.draw(1, 2, RngStream::kGeneric, 1));
+}
+
+TEST(CounterRng, UniformInUnitInterval) {
+  const CounterRng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform(0, static_cast<std::uint64_t>(i),
+                                 RngStream::kGeneric);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(CounterRng, UniformIntInRangeAndRoughlyUniform) {
+  const CounterRng rng(23);
+  const std::uint32_t k = 7;
+  std::vector<int> counts(k, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint32_t v =
+        rng.uniform_int(1, static_cast<std::uint64_t>(i), RngStream::kGeneric, k);
+    ASSERT_LT(v, k);
+    ++counts[v];
+  }
+  for (std::uint32_t b = 0; b < k; ++b) {
+    EXPECT_NEAR(counts[b], n / static_cast<int>(k), n / k / 10.0) << b;
+  }
+}
+
+TEST(CounterRng, BernoulliEdgeCases) {
+  const CounterRng rng(3);
+  EXPECT_FALSE(rng.bernoulli(0, 0, RngStream::kGeneric, 0.0));
+  EXPECT_FALSE(rng.bernoulli(0, 0, RngStream::kGeneric, -1.0));
+  EXPECT_TRUE(rng.bernoulli(0, 0, RngStream::kGeneric, 1.0));
+  EXPECT_TRUE(rng.bernoulli(0, 0, RngStream::kGeneric, 2.0));
+}
+
+TEST(CounterRng, BernoulliMatchesProbability) {
+  const CounterRng rng(31);
+  const double p = 0.3;
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.bernoulli(2, static_cast<std::uint64_t>(i),
+                          RngStream::kGeneric, p);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.01);
+}
+
+TEST(CounterRng, PoissonMeanAndVariance) {
+  const CounterRng rng(41);
+  const double mean = 12.0;
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double k = rng.poisson(0, static_cast<std::uint64_t>(i),
+                                 RngStream::kIncubationPeriod, mean);
+    sum += k;
+    sq += k * k;
+  }
+  const double m = sum / n;
+  const double var = sq / n - m * m;
+  EXPECT_NEAR(m, mean, 0.15);
+  EXPECT_NEAR(var, mean, 0.6);  // Poisson: variance == mean
+}
+
+TEST(CounterRng, PoissonZeroMean) {
+  const CounterRng rng(1);
+  EXPECT_EQ(rng.poisson(0, 0, RngStream::kGeneric, 0.0), 0u);
+}
+
+TEST(CounterRng, PoissonNegativeMeanThrows) {
+  const CounterRng rng(1);
+  EXPECT_THROW(rng.poisson(0, 0, RngStream::kGeneric, -1.0), Error);
+}
+
+TEST(Bid, EncodesSourceVoxel) {
+  const CounterRng rng(77);
+  const std::uint64_t bid = make_bid(rng, 10, 123456, RngStream::kTCellBid);
+  EXPECT_EQ(bid_source(bid), 123456u);
+}
+
+TEST(Bid, DistinctSourcesNeverTie) {
+  // The paper accepts a vanishing tie probability; the voxel-id low bits
+  // make ties impossible outright.
+  const CounterRng rng(77);
+  std::set<std::uint64_t> bids;
+  for (VoxelId v = 0; v < 4096; ++v) {
+    bids.insert(make_bid(rng, 3, v, RngStream::kTCellBid));
+  }
+  EXPECT_EQ(bids.size(), 4096u);
+}
+
+TEST(Bid, WinnerIndependentOfComparisonOrder) {
+  const CounterRng rng(7);
+  std::vector<std::uint64_t> bids;
+  for (VoxelId v = 10; v < 20; ++v) {
+    bids.push_back(make_bid(rng, 4, v, RngStream::kTCellBid));
+  }
+  std::uint64_t forward = 0;
+  for (auto b : bids) forward = std::max(forward, b);
+  std::uint64_t backward = 0;
+  for (auto it = bids.rbegin(); it != bids.rend(); ++it) {
+    backward = std::max(backward, *it);
+  }
+  EXPECT_EQ(forward, backward);
+}
+
+}  // namespace
+}  // namespace simcov

@@ -1,0 +1,13 @@
+#include <gtest/gtest.h>
+#include "core/reference_sim.hpp"
+#include "core/foi.hpp"
+#include "gpusim/gpusim.hpp"
+#include "pgas/runtime.hpp"
+TEST(Smoke, ReferenceRuns) {
+  simcov::SimParams p = simcov::SimParams::bench_fast();
+  p.dim_x = 32; p.dim_y = 32; p.num_steps = 10;
+  simcov::Grid g(p.dim_x, p.dim_y, p.dim_z);
+  simcov::ReferenceSim sim(p, simcov::foi_uniform_random(g, 2, p.seed));
+  sim.run(10);
+  EXPECT_EQ(sim.history().size(), 10u);
+}

@@ -1,0 +1,162 @@
+// Statistics utilities, FOI generators, and parameter validation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/foi.hpp"
+#include "core/grid.hpp"
+#include "core/params.hpp"
+#include "core/stats.hpp"
+#include "util/config.hpp"
+
+namespace simcov {
+namespace {
+
+// ---------------------------------------------------------------------------
+// StepStats / series utilities
+// ---------------------------------------------------------------------------
+
+TEST(Stats, FlattenUnflattenRoundTrip) {
+  StepStats s;
+  s.virus_total = 12.5;
+  s.chem_total = 3.25;
+  s.epi_counts = {1, 2, 3, 4, 5, 6};
+  s.tcells_tissue = 42;
+  s.extravasated = 7;
+  const StepStats r = StepStats::unflatten(s.flatten());
+  EXPECT_DOUBLE_EQ(r.virus_total, 12.5);
+  EXPECT_DOUBLE_EQ(r.chem_total, 3.25);
+  EXPECT_EQ(r.epi_counts, s.epi_counts);
+  EXPECT_EQ(r.tcells_tissue, 42u);
+  EXPECT_EQ(r.extravasated, 7u);
+}
+
+TEST(Stats, NamedAccessors) {
+  StepStats s;
+  s.epi_counts = {10, 20, 30, 40, 50, 60};
+  EXPECT_EQ(s.healthy(), 20u);
+  EXPECT_EQ(s.incubating(), 30u);
+  EXPECT_EQ(s.expressing(), 40u);
+  EXPECT_EQ(s.apoptotic(), 50u);
+  EXPECT_EQ(s.dead(), 60u);
+}
+
+TEST(Stats, PeakAndAgreement) {
+  EXPECT_DOUBLE_EQ(peak({1.0, 5.0, 3.0}), 5.0);
+  EXPECT_DOUBLE_EQ(peak({}), 0.0);
+  EXPECT_DOUBLE_EQ(percent_agreement(100.0, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percent_agreement(0.0, 0.0), 100.0);
+  EXPECT_NEAR(percent_agreement(99.0, 100.0), 99.0, 1e-9);
+  EXPECT_DOUBLE_EQ(percent_agreement(0.0, 50.0), 0.0);
+}
+
+TEST(Stats, MeanStd) {
+  const MeanStd ms = mean_std({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_NEAR(ms.std, 2.138, 0.001);  // sample std
+  EXPECT_DOUBLE_EQ(mean_std({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(mean_std({3.0}).std, 0.0);
+}
+
+TEST(Stats, Envelope) {
+  const Envelope e = envelope({{1.0, 4.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(e.min[0], 1.0);
+  EXPECT_DOUBLE_EQ(e.max[0], 3.0);
+  EXPECT_DOUBLE_EQ(e.mean[1], 3.0);
+  EXPECT_THROW(envelope({{1.0}, {1.0, 2.0}}), Error);
+  EXPECT_THROW(envelope({}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// FOI generators
+// ---------------------------------------------------------------------------
+
+TEST(Foi, UniformRandomDistinctAndDeterministic) {
+  const Grid g(64, 64, 1);
+  const auto a = foi_uniform_random(g, 50, 7);
+  const auto b = foi_uniform_random(g, 50, 7);
+  EXPECT_EQ(a, b);
+  const std::set<VoxelId> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (VoxelId v : a) EXPECT_LT(v, g.num_voxels());
+  EXPECT_NE(foi_uniform_random(g, 50, 8), a);
+}
+
+TEST(Foi, UniformRandomFullGrid) {
+  const Grid g(4, 4, 1);
+  const auto all = foi_uniform_random(g, 16, 3);
+  EXPECT_EQ(all.size(), 16u);
+  EXPECT_THROW(foi_uniform_random(g, 17, 3), Error);
+}
+
+TEST(Foi, CtLesionsFormBlobs) {
+  const Grid g(128, 128, 1);
+  const auto lesions = foi_ct_lesions(g, 5, 6.0, 11);
+  EXPECT_GT(lesions.size(), 5u * 20u);  // discs, not points
+  const std::set<VoxelId> unique(lesions.begin(), lesions.end());
+  EXPECT_EQ(unique.size(), lesions.size());  // deduplicated
+  for (VoxelId v : lesions) EXPECT_LT(v, g.num_voxels());
+  EXPECT_EQ(foi_ct_lesions(g, 5, 6.0, 11), lesions);  // deterministic
+}
+
+TEST(Foi, LatticeIsSpreadAndUnique) {
+  const Grid g(100, 100, 1);
+  const auto pts = foi_lattice(g, 9);
+  EXPECT_EQ(pts.size(), 9u);
+  const std::set<VoxelId> unique(pts.begin(), pts.end());
+  EXPECT_EQ(unique.size(), 9u);
+  EXPECT_TRUE(foi_lattice(g, 0).empty());
+}
+
+// ---------------------------------------------------------------------------
+// SimParams
+// ---------------------------------------------------------------------------
+
+TEST(Params, DefaultsValidate) {
+  SimParams::covid_default().validate();
+  SimParams::bench_fast().validate();
+}
+
+TEST(Params, ApplyOverrides) {
+  SimParams p = SimParams::bench_fast();
+  p.apply(Config::from_string("dim_x = 99\nvirus_decay = 0.5\nseed = 3\n"));
+  EXPECT_EQ(p.dim_x, 99);
+  EXPECT_DOUBLE_EQ(p.virus_decay, 0.5);
+  EXPECT_EQ(p.seed, 3u);
+}
+
+TEST(Params, UnknownKeyRejected) {
+  SimParams p = SimParams::bench_fast();
+  EXPECT_THROW(p.apply(Config::from_string("not_a_param = 1\n")), Error);
+}
+
+TEST(Params, ValidationCatchesBadValues) {
+  auto broken = [](auto mutate) {
+    SimParams p = SimParams::bench_fast();
+    mutate(p);
+    return p;
+  };
+  EXPECT_THROW(broken([](SimParams& p) { p.dim_x = 0; }).validate(), Error);
+  EXPECT_THROW(broken([](SimParams& p) { p.virus_diffusion = 1.5; }).validate(),
+               Error);
+  EXPECT_THROW(broken([](SimParams& p) { p.num_foi = -1; }).validate(), Error);
+  EXPECT_THROW(
+      broken([](SimParams& p) { p.tile_check_period = p.tile_side + 1; })
+          .validate(),
+      Error);
+  EXPECT_THROW(broken([](SimParams& p) { p.block_dim = 4096; }).validate(),
+               Error);
+  EXPECT_THROW(broken([](SimParams& p) { p.tcell_binding_period = 0; })
+                   .validate(),
+               Error);
+}
+
+TEST(Params, SummaryMentionsGeometry) {
+  SimParams p = SimParams::bench_fast();
+  p.dim_x = 77;
+  EXPECT_NE(p.summary().find("77x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace simcov

@@ -1,0 +1,147 @@
+// Active-tile tracking policy (§3.2): border tiles always active, one-tile
+// buffer ring, and the safety property that justifies periodic checking —
+// activity moving at most one voxel per step cannot reach an inactive tile
+// between sweeps when the check period is at most one tile side.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcov_gpu/layout.hpp"
+#include "simcov_gpu/tiles.hpp"
+
+namespace simcov::gpu {
+namespace {
+
+TEST(Tiles, DisabledTilingKeepsEverythingActive) {
+  const TiledLayout lay(32, 32, 8);
+  ActiveTileSet tiles(lay, /*tiling_enabled=*/false);
+  EXPECT_EQ(tiles.active_count(), 16u);
+  std::vector<std::uint8_t> raw(16, 0);  // no activity anywhere
+  tiles.update_from_sweep(raw);
+  EXPECT_EQ(tiles.active_count(), 16u);  // still everything
+}
+
+TEST(Tiles, BorderTilesAlwaysActive) {
+  const TiledLayout lay(40, 40, 8);  // 5x5 tiles
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(25, 0);
+  tiles.update_from_sweep(raw);
+  // Only the centre 3x3 minus ... border ring of 16 tiles stays active.
+  EXPECT_EQ(tiles.active_count(), 16u);
+  EXPECT_TRUE(tiles.is_active(0));
+  EXPECT_FALSE(tiles.is_active(6));  // (1,1) interior
+  EXPECT_FALSE(tiles.is_active(12));  // (2,2) centre
+}
+
+TEST(Tiles, BufferRingIncludesDiagonals) {
+  const TiledLayout lay(56, 56, 8);  // 7x7 tiles; centre is (3,3) = 24
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(49, 0);
+  raw[24] = 1;
+  tiles.update_from_sweep(raw);
+  // centre + full 3x3 ring + 24-tile border = 9 + 24 = 33.
+  EXPECT_EQ(tiles.active_count(), 33u);
+  for (std::int32_t dy = -1; dy <= 1; ++dy) {
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      EXPECT_TRUE(tiles.is_active((3 + dy) * 7 + (3 + dx)));
+    }
+  }
+  EXPECT_FALSE(tiles.is_active(2 * 7 + 5));  // (5,2): outside the ring
+}
+
+TEST(Tiles, DeactivationHappensAtSweeps) {
+  const TiledLayout lay(56, 56, 8);
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(49, 0);
+  raw[24] = 1;
+  tiles.update_from_sweep(raw);
+  const auto with_activity = tiles.active_count();
+  raw[24] = 0;  // activity gone
+  tiles.update_from_sweep(raw);
+  EXPECT_LT(tiles.active_count(), with_activity);
+  EXPECT_EQ(tiles.active_count(), 24u);  // only the border ring remains
+}
+
+TEST(Tiles, ActiveListMatchesFlags) {
+  const TiledLayout lay(40, 40, 8);
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(25, 0);
+  raw[12] = 1;
+  tiles.update_from_sweep(raw);
+  std::size_t count = 0;
+  for (std::uint32_t t : tiles.active_list()) {
+    EXPECT_TRUE(tiles.is_active(static_cast<std::int32_t>(t)));
+    ++count;
+  }
+  EXPECT_EQ(count, tiles.active_count());
+}
+
+TEST(Tiles, WrongSweepSizeRejected) {
+  const TiledLayout lay(32, 32, 8);
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(9, 0);
+  EXPECT_THROW(tiles.update_from_sweep(raw), Error);
+}
+
+/// Safety property behind the paper's "maximum check period = tile side"
+/// rule: simulate a token that moves one cell per step from any position in
+/// an active tile; for every check period P <= tile side, the token is
+/// still inside the activated set (tile + ring) after P steps.
+class TileSafety : public ::testing::TestWithParam<int> {};
+
+TEST_P(TileSafety, ActivityCannotEscapeBufferRingBetweenSweeps) {
+  const int period = GetParam();
+  const int tile = 8;
+  ASSERT_LE(period, tile);
+  const TiledLayout lay(11 * tile, 11 * tile, tile);
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(lay.num_tiles()), 0);
+  const std::int32_t centre_tile = 5 * 11 + 5;
+  raw[static_cast<std::size_t>(centre_tile)] = 1;
+  tiles.update_from_sweep(raw);
+
+  // Worst case: the token starts at a corner of the centre tile and walks
+  // straight outward for `period` steps.
+  const std::int32_t x0 = 5 * tile, y0 = 5 * tile;  // tile corner
+  const std::int32_t walks[4][2] = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+  for (const auto& w : walks) {
+    std::int32_t x = x0, y = y0;
+    for (int s = 0; s < period; ++s) {
+      x += w[0];
+      y += w[1];
+      ASSERT_TRUE(tiles.is_active(lay.tile_of(x, y)))
+          << "escaped at step " << s << " pos " << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, TileSafety, ::testing::Values(1, 2, 4, 8));
+
+TEST(Tiles, RaggedEdgeKeepsInnerRingActive) {
+  // 25 voxels with tile 8 -> tiles at x = 0..7, 8..15, 16..23, 24 (1 wide).
+  // Activity entering the 1-wide edge tile from a ghost can cross it in a
+  // single step, so the ring just inside the ragged edge must never sleep.
+  const TiledLayout lay(25, 32, 8);  // 4x4 tiles, ragged in x only
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(static_cast<std::size_t>(lay.num_tiles()), 0);
+  tiles.update_from_sweep(raw);
+  for (std::int32_t ty = 0; ty < 4; ++ty) {
+    EXPECT_TRUE(tiles.is_active(ty * 4 + 2))  // tx == tiles_x-2
+        << "ragged inner ring tile (2," << ty << ") must stay active";
+  }
+  // The non-ragged y direction keeps its normal interior inactive.
+  EXPECT_FALSE(tiles.is_active(1 * 4 + 1));
+}
+
+TEST(Tiles, NonRaggedDomainsHaveNoExtraRing) {
+  const TiledLayout lay(32, 32, 8);
+  ActiveTileSet tiles(lay, true);
+  std::vector<std::uint8_t> raw(16, 0);
+  tiles.update_from_sweep(raw);
+  EXPECT_FALSE(tiles.is_active(1 * 4 + 1));
+  EXPECT_FALSE(tiles.is_active(2 * 4 + 2));
+}
+
+}  // namespace
+}  // namespace simcov::gpu
