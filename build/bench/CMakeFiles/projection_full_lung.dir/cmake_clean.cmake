@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_full_lung.dir/projection_full_lung.cpp.o"
+  "CMakeFiles/projection_full_lung.dir/projection_full_lung.cpp.o.d"
+  "projection_full_lung"
+  "projection_full_lung.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_full_lung.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foi_sweep.dir/foi_sweep.cpp.o"
+  "CMakeFiles/foi_sweep.dir/foi_sweep.cpp.o.d"
+  "foi_sweep"
+  "foi_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foi_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

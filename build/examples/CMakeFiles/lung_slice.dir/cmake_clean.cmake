@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lung_slice.dir/lung_slice.cpp.o"
+  "CMakeFiles/lung_slice.dir/lung_slice.cpp.o.d"
+  "lung_slice"
+  "lung_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lung_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ode_vs_abm.dir/ode_vs_abm.cpp.o"
+  "CMakeFiles/ode_vs_abm.dir/ode_vs_abm.cpp.o.d"
+  "ode_vs_abm"
+  "ode_vs_abm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ode_vs_abm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

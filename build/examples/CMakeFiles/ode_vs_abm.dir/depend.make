@@ -1,0 +1,2 @@
+# Empty dependencies file for ode_vs_abm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov.dir/tools/simcov_main.cpp.o"
+  "CMakeFiles/simcov.dir/tools/simcov_main.cpp.o.d"
+  "simcov"
+  "simcov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

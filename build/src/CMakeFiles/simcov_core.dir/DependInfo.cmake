@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/airways.cpp" "src/CMakeFiles/simcov_core.dir/core/airways.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/airways.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/CMakeFiles/simcov_core.dir/core/decomposition.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/decomposition.cpp.o.d"
+  "/root/repo/src/core/foi.cpp" "src/CMakeFiles/simcov_core.dir/core/foi.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/foi.cpp.o.d"
+  "/root/repo/src/core/ode_baseline.cpp" "src/CMakeFiles/simcov_core.dir/core/ode_baseline.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/ode_baseline.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/simcov_core.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/reference_sim.cpp" "src/CMakeFiles/simcov_core.dir/core/reference_sim.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/reference_sim.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/CMakeFiles/simcov_core.dir/core/rules.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/rules.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/CMakeFiles/simcov_core.dir/core/stats.cpp.o" "gcc" "src/CMakeFiles/simcov_core.dir/core/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/simcov_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_core.dir/core/airways.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/airways.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/core/decomposition.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/decomposition.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/core/foi.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/foi.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/core/ode_baseline.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/ode_baseline.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/core/params.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/params.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/core/reference_sim.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/reference_sim.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/core/rules.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/rules.cpp.o.d"
+  "CMakeFiles/simcov_core.dir/core/stats.cpp.o"
+  "CMakeFiles/simcov_core.dir/core/stats.cpp.o.d"
+  "libsimcov_core.a"
+  "libsimcov_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

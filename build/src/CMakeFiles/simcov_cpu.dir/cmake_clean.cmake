@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_cpu.dir/simcov_cpu/cpu_sim.cpp.o"
+  "CMakeFiles/simcov_cpu.dir/simcov_cpu/cpu_sim.cpp.o.d"
+  "libsimcov_cpu.a"
+  "libsimcov_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_gpu.dir/simcov_gpu/gpu_sim.cpp.o"
+  "CMakeFiles/simcov_gpu.dir/simcov_gpu/gpu_sim.cpp.o.d"
+  "CMakeFiles/simcov_gpu.dir/simcov_gpu/tiles.cpp.o"
+  "CMakeFiles/simcov_gpu.dir/simcov_gpu/tiles.cpp.o.d"
+  "libsimcov_gpu.a"
+  "libsimcov_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

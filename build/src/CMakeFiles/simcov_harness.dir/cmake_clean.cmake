@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/simcov_harness.dir/harness/experiment.cpp.o.d"
+  "libsimcov_harness.a"
+  "libsimcov_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_io.dir/io/snapshot.cpp.o"
+  "CMakeFiles/simcov_io.dir/io/snapshot.cpp.o.d"
+  "libsimcov_io.a"
+  "libsimcov_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

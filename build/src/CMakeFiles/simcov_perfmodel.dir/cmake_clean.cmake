@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_perfmodel.dir/perfmodel/cost_model.cpp.o"
+  "CMakeFiles/simcov_perfmodel.dir/perfmodel/cost_model.cpp.o.d"
+  "libsimcov_perfmodel.a"
+  "libsimcov_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

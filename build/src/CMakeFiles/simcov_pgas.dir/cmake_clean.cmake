@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_pgas.dir/pgas/runtime.cpp.o"
+  "CMakeFiles/simcov_pgas.dir/pgas/runtime.cpp.o.d"
+  "libsimcov_pgas.a"
+  "libsimcov_pgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcov_util.dir/util/config.cpp.o"
+  "CMakeFiles/simcov_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/simcov_util.dir/util/error.cpp.o"
+  "CMakeFiles/simcov_util.dir/util/error.cpp.o.d"
+  "CMakeFiles/simcov_util.dir/util/rng.cpp.o"
+  "CMakeFiles/simcov_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/simcov_util.dir/util/table.cpp.o"
+  "CMakeFiles/simcov_util.dir/util/table.cpp.o.d"
+  "libsimcov_util.a"
+  "libsimcov_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcov_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_airways_test.dir/io_airways_test.cpp.o"
+  "CMakeFiles/io_airways_test.dir/io_airways_test.cpp.o.d"
+  "io_airways_test"
+  "io_airways_test.pdb"
+  "io_airways_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_airways_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

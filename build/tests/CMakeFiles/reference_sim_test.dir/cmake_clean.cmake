@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_sim_test.dir/reference_sim_test.cpp.o"
+  "CMakeFiles/reference_sim_test.dir/reference_sim_test.cpp.o.d"
+  "reference_sim_test"
+  "reference_sim_test.pdb"
+  "reference_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_foi_params_test.dir/stats_foi_params_test.cpp.o"
+  "CMakeFiles/stats_foi_params_test.dir/stats_foi_params_test.cpp.o.d"
+  "stats_foi_params_test"
+  "stats_foi_params_test.pdb"
+  "stats_foi_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_foi_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiles_test.dir/tiles_test.cpp.o"
+  "CMakeFiles/tiles_test.dir/tiles_test.cpp.o.d"
+  "tiles_test"
+  "tiles_test.pdb"
+  "tiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Smoke.ReferenceRuns]=]  /root/repo/build/tests/smoke_test [==[--gtest_filter=Smoke.ReferenceRuns]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Smoke.ReferenceRuns]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  smoke_test_TESTS Smoke.ReferenceRuns)
