@@ -1,13 +1,27 @@
 #include "pgas/runtime.hpp"
 
 #include <bit>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <string_view>
 #include <thread>
 
+#include "pgas/checker.hpp"
 #include "util/error.hpp"
 
 namespace simcov::pgas {
+
+namespace {
+
+bool env_check_enabled() {
+  // Read in the Runtime constructor, before rank threads exist; nothing in
+  // the library calls setenv.
+  const char* e = std::getenv("SIMCOV_PGAS_CHECK");  // NOLINT(concurrency-mt-unsafe)
+  return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Rank
@@ -18,6 +32,7 @@ int Rank::world_size() const { return runtime_.num_ranks_; }
 void Rank::barrier() {
   ++stats_.barriers;
   runtime_.barrier_->arrive_and_wait();
+  if (auto* ck = runtime_.checker_.get()) ck->on_barrier(id_);
 }
 
 void Rank::rpc(RankId target, std::function<void()> fn,
@@ -55,16 +70,24 @@ void Rank::rpc_quiescence() {
 std::vector<double> Rank::allreduce_sum(std::span<const double> values) {
   ++stats_.reductions;
   stats_.reduction_bytes += values.size_bytes();
+  auto* ck = runtime_.checker_.get();
+  if (ck) ck->on_collective_enter(id_, CollectiveOp::kSum, values.size());
   auto& slots = runtime_.collective_slots_;
   auto& mine = slots[static_cast<std::size_t>(id_)];
   mine.assign(values.begin(), values.end());
   barrier();
+  // On a checker-detected mismatch the combine is skipped: reading the
+  // mismatched slots would throw mid-superstep and strand the peers at the
+  // team barrier.  The job limps to completion and run() throws the report.
+  const bool combine = ck == nullptr || ck->on_collective_verify(id_);
   std::vector<double> out(values.size(), 0.0);
-  for (int r = 0; r < world_size(); ++r) {
-    const auto& slot = slots[static_cast<std::size_t>(r)];
-    SIMCOV_REQUIRE(slot.size() == values.size(),
-                   "allreduce called with mismatched lengths across ranks");
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] += slot[i];
+  if (combine) {
+    for (int r = 0; r < world_size(); ++r) {
+      const auto& slot = slots[static_cast<std::size_t>(r)];
+      SIMCOV_REQUIRE(slot.size() == values.size(),
+                     "allreduce called with mismatched lengths across ranks");
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += slot[i];
+    }
   }
   barrier();  // all ranks done reading before slots are reused
   return out;
@@ -84,16 +107,21 @@ std::uint64_t Rank::allreduce_sum(std::uint64_t value) {
 std::uint64_t Rank::allreduce_max(std::uint64_t value) {
   ++stats_.reductions;
   stats_.reduction_bytes += sizeof(value);
+  auto* ck = runtime_.checker_.get();
+  if (ck) ck->on_collective_enter(id_, CollectiveOp::kMax, 1);
   auto& slots = runtime_.collective_slots_;
   // Full 64-bit values (bids) must survive intact: pass the bit pattern.
   slots[static_cast<std::size_t>(id_)].assign(
       1, std::bit_cast<double>(value));
   barrier();
+  const bool combine = ck == nullptr || ck->on_collective_verify(id_);
   std::uint64_t out = 0;
-  for (int r = 0; r < world_size(); ++r) {
-    const auto& slot = slots[static_cast<std::size_t>(r)];
-    SIMCOV_REQUIRE(slot.size() == 1, "allreduce_max shape mismatch");
-    out = std::max(out, std::bit_cast<std::uint64_t>(slot[0]));
+  if (combine) {
+    for (int r = 0; r < world_size(); ++r) {
+      const auto& slot = slots[static_cast<std::size_t>(r)];
+      SIMCOV_REQUIRE(slot.size() == 1, "allreduce_max shape mismatch");
+      out = std::max(out, std::bit_cast<std::uint64_t>(slot[0]));
+    }
   }
   barrier();
   return out;
@@ -102,14 +130,19 @@ std::uint64_t Rank::allreduce_max(std::uint64_t value) {
 std::uint64_t Rank::allreduce_xor(std::uint64_t value) {
   ++stats_.reductions;
   stats_.reduction_bytes += sizeof(value);
+  auto* ck = runtime_.checker_.get();
+  if (ck) ck->on_collective_enter(id_, CollectiveOp::kXor, 1);
   auto& slots = runtime_.collective_slots_;
   slots[static_cast<std::size_t>(id_)].assign(1, std::bit_cast<double>(value));
   barrier();
+  const bool combine = ck == nullptr || ck->on_collective_verify(id_);
   std::uint64_t out = 0;
-  for (int r = 0; r < world_size(); ++r) {
-    const auto& slot = slots[static_cast<std::size_t>(r)];
-    SIMCOV_REQUIRE(slot.size() == 1, "allreduce_xor shape mismatch");
-    out ^= std::bit_cast<std::uint64_t>(slot[0]);
+  if (combine) {
+    for (int r = 0; r < world_size(); ++r) {
+      const auto& slot = slots[static_cast<std::size_t>(r)];
+      SIMCOV_REQUIRE(slot.size() == 1, "allreduce_xor shape mismatch");
+      out ^= std::bit_cast<std::uint64_t>(slot[0]);
+    }
   }
   barrier();
   return out;
@@ -134,14 +167,25 @@ void Rank::put(RankId target, int chan, std::span<const std::byte> data,
   SIMCOV_REQUIRE(it != t.channels_.end(),
                  "put into unregistered channel " + std::to_string(chan) +
                      " on rank " + std::to_string(target));
-  SIMCOV_REQUIRE(offset + data.size() <= it->second.size(),
+  // Checked as two comparisons so a huge offset cannot wrap the unsigned
+  // sum and slip past the bound.
+  SIMCOV_REQUIRE(offset <= it->second.size() &&
+                     data.size() <= it->second.size() - offset,
                  "put overflows channel " + std::to_string(chan) + " (" +
-                     std::to_string(offset + data.size()) + " > " +
+                     std::to_string(offset) + " + " +
+                     std::to_string(data.size()) + " > " +
                      std::to_string(it->second.size()) + " bytes)");
+  // Record only validated puts, so a rejected call cannot seed a spurious
+  // diagnostic against the target.
+  if (auto* ck = runtime_.checker_.get()) {
+    ck->on_put(id_, target, chan, offset, data.size());
+  }
   std::memcpy(it->second.data() + offset, data.data(), data.size());
 }
 
 std::span<const std::byte> Rank::channel(int chan) const {
+  if (auto* ck = runtime_.checker_.get()) ck->on_channel_read(id_, chan);
+  std::lock_guard<std::mutex> lock(channel_mutex_);
   auto it = channels_.find(chan);
   SIMCOV_REQUIRE(it != channels_.end(),
                  "reading unregistered channel " + std::to_string(chan));
@@ -149,6 +193,8 @@ std::span<const std::byte> Rank::channel(int chan) const {
 }
 
 std::span<std::byte> Rank::channel_mutable(int chan) {
+  if (auto* ck = runtime_.checker_.get()) ck->on_channel_read(id_, chan);
+  std::lock_guard<std::mutex> lock(channel_mutex_);
   auto it = channels_.find(chan);
   SIMCOV_REQUIRE(it != channels_.end(),
                  "reading unregistered channel " + std::to_string(chan));
@@ -159,7 +205,9 @@ std::span<std::byte> Rank::channel_mutable(int chan) {
 // Runtime
 // ---------------------------------------------------------------------------
 
-Runtime::Runtime(int num_ranks) : num_ranks_(num_ranks) {
+Runtime::Runtime(int num_ranks, RuntimeOptions options)
+    : num_ranks_(num_ranks),
+      check_enabled_(options.check_discipline || env_check_enabled()) {
   SIMCOV_REQUIRE(num_ranks >= 1, "runtime needs at least one rank");
   SIMCOV_REQUIRE(num_ranks <= 4096, "unreasonable rank count");
   barrier_ = std::make_unique<std::barrier<>>(num_ranks);
@@ -171,7 +219,10 @@ Runtime::~Runtime() = default;
 
 void Runtime::run(const std::function<void(Rank&)>& fn) {
   // Fresh Rank objects per job: clean RPC queues, channels and counters.
+  // The checker is recreated too, so epochs and put logs start at zero.
   ranks_.clear();
+  checker_.reset();
+  if (check_enabled_) checker_ = std::make_unique<DisciplineChecker>(num_ranks_);
   for (int r = 0; r < num_ranks_; ++r) {
     // make_unique cannot reach the private constructor; ownership is taken
     // by the unique_ptr in the same expression.
@@ -198,6 +249,30 @@ void Runtime::run(const std::function<void(Rank&)>& fn) {
   for (int r = 0; r < num_ranks_; ++r) {
     last_stats_[static_cast<std::size_t>(r)] =
         ranks_[static_cast<std::size_t>(r)]->stats();
+  }
+  if (checker_) {
+    for (int r = 0; r < num_ranks_; ++r) {
+      Rank& rank = *ranks_[static_cast<std::size_t>(r)];
+      std::lock_guard<std::mutex> lock(rank.rpc_mutex_);
+      checker_->on_job_end(r, rank.rpc_queue_.size());
+    }
+    if (!checker_->clean()) {
+      // The discipline report is the diagnosis; a rank exception (if any)
+      // is usually a downstream symptom, so it is appended, not preferred.
+      std::string what = checker_->report();
+      for (const auto& e : errors) {
+        if (!e) continue;
+        try {
+          std::rethrow_exception(e);
+        } catch (const std::exception& ex) {
+          what += "\n  (a rank also threw: " + std::string(ex.what()) + ")";
+        } catch (...) {
+          what += "\n  (a rank also threw a non-std exception)";
+        }
+        break;
+      }
+      throw Error(what);
+    }
   }
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);

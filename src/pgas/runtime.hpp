@@ -20,6 +20,14 @@
 //     channels only after a barrier (halo-exchange discipline).
 //   * Collectives are barrier-based with a deterministic rank-order combine,
 //     so reductions are bitwise reproducible run-to-run.
+//
+// The discipline is *checkable*: construct the Runtime with
+// RuntimeOptions{.check_discipline = true} (or set SIMCOV_PGAS_CHECK=1 in
+// the environment) and every violation — unbarriered channel read,
+// conflicting same-epoch puts, undrained RPC queues, mismatched collectives
+// — is recorded and reported as one aggregated simcov::Error when run()
+// returns.  See pgas/checker.hpp.  When checking is off, each primitive
+// pays a single null-pointer branch.
 
 #include <barrier>
 #include <cstddef>
@@ -37,7 +45,16 @@ namespace simcov::pgas {
 
 using RankId = int;
 
+class DisciplineChecker;
 class Runtime;
+
+/// Construction-time knobs for Runtime.
+struct RuntimeOptions {
+  /// Enables the PGAS discipline checker (pgas/checker.hpp) for every job
+  /// this runtime executes.  Also forced on by the environment variable
+  /// SIMCOV_PGAS_CHECK (any value other than empty/"0").
+  bool check_discipline = false;
+};
 
 /// Handle given to each rank's SPMD function.  Not copyable; a Rank is valid
 /// only for the duration of Runtime::run().
@@ -101,7 +118,9 @@ class Rank {
   std::mutex rpc_mutex_;
   std::vector<std::function<void()>> rpc_queue_;
 
-  std::mutex channel_mutex_;
+  // Guards the channel map against concurrent lookups while a peer's put is
+  // in flight; mutable so the const read path locks it too.
+  mutable std::mutex channel_mutex_;
   std::map<int, std::vector<std::byte>> channels_;
 };
 
@@ -110,13 +129,17 @@ class Rank {
 /// "job" on the same team size).
 class Runtime {
  public:
-  explicit Runtime(int num_ranks);
+  explicit Runtime(int num_ranks, RuntimeOptions options = {});
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
   int num_ranks() const { return num_ranks_; }
+
+  /// True when the discipline checker instruments this runtime's jobs
+  /// (either via RuntimeOptions or SIMCOV_PGAS_CHECK=1).
+  bool checking_enabled() const { return check_enabled_; }
 
   /// Executes `fn(rank)` on every rank in its own thread and joins.  If any
   /// rank throws, the first exception (by rank id) is rethrown here after
@@ -132,11 +155,17 @@ class Runtime {
   friend class Rank;
 
   int num_ranks_;
+  bool check_enabled_ = false;
   std::unique_ptr<std::barrier<>> barrier_;
 
-  // Collective scratch: one slot per rank plus a generation-checked combine.
-  std::mutex collective_mutex_;
+  // Collective scratch: one slot per rank.  Writes (each rank to its own
+  // slot) and cross-rank reads are separated by the collective's barriers,
+  // which establish the necessary happens-before; no lock is needed.
   std::vector<std::vector<double>> collective_slots_;
+
+  // Non-null for the duration of run() when checking is enabled; recreated
+  // fresh per job alongside the Rank objects.
+  std::unique_ptr<DisciplineChecker> checker_;
 
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::vector<CommStats> last_stats_;

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -133,6 +134,25 @@ TEST(Pgas, PutMisuseRejected) {
       EXPECT_THROW(r.put(1, 99, data), Error);      // unregistered channel
       EXPECT_THROW(r.put(5, 1, data), Error);       // bad rank
       EXPECT_THROW((void)r.channel(42), Error);     // unregistered read
+    }
+    r.barrier();
+  });
+}
+
+TEST(Pgas, PutHugeOffsetRejectedNotWrapped) {
+  // Regression: offset + size used to be summed before the bound check, so
+  // an offset near SIZE_MAX wrapped around and the copy went out of bounds.
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    r.register_channel(1, 8);
+    r.barrier();
+    std::vector<std::byte> data(2);
+    if (r.id() == 0) {
+      constexpr std::size_t huge = std::numeric_limits<std::size_t>::max();
+      EXPECT_THROW(r.put(1, 1, data, huge), Error);
+      EXPECT_THROW(r.put(1, 1, data, huge - 1), Error);
+      EXPECT_THROW(r.put(1, 1, data, 7), Error);   // one past the end
+      EXPECT_NO_THROW(r.put(1, 1, data, 6));       // exactly fits
     }
     r.barrier();
   });
