@@ -17,10 +17,13 @@
 // Modeled runtimes are therefore per-step comparable to the paper's
 // machines; absolute totals are smaller because we run ~100x fewer steps.
 
+#include <chrono>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 namespace simcov::bench {
@@ -59,6 +62,64 @@ inline void print_header(const std::string& experiment,
 inline void print_shape_check(const std::string& claim, bool holds) {
   std::printf("SHAPE CHECK: %-58s [%s]\n", claim.c_str(),
               holds ? "OK" : "MISS");
+}
+
+/// Measured cost of the observability layer when it is *disabled*.  The
+/// contract (src/obs/trace.hpp) is one relaxed atomic load + branch per
+/// span/metric site; this report turns that into a fraction of real step
+/// time so the gate survives site-count growth.
+struct ObsOverheadReport {
+  double ns_per_site = 0.0;     ///< measured cost of one disabled span site
+  double sites_per_step = 0.0;  ///< span + metric sites hit per step
+  double step_ns = 0.0;         ///< wall time of one step, observability off
+  double overhead() const {
+    return step_ns > 0.0 ? ns_per_site * sites_per_step / step_ns : 0.0;
+  }
+};
+
+/// Measures the disabled-observability overhead of `spec` on the GPU
+/// backend: (1) times a disabled span site in a tight loop, (2) counts the
+/// sites one step actually hits by running once with both collectors on
+/// (in-memory, no output files), (3) times a run with observability off.
+inline ObsOverheadReport measure_obs_overhead(const harness::RunSpec& spec,
+                                              int ranks) {
+  ObsOverheadReport r;
+  obs::tracer().disable();
+  obs::metrics().disable();
+
+  {
+    constexpr int kIters = 1 << 21;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      // The relaxed enabled() load in the constructor cannot be hoisted or
+      // deleted, so the loop body survives optimization.
+      obs::ScopedSpan probe("obs_overhead_probe", 0);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    r.ns_per_site =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() / kIters;
+  }
+
+  {
+    obs::tracer().enable("");
+    obs::metrics().enable("");
+    harness::run_gpu(spec, ranks);
+    const double sites = static_cast<double>(
+        obs::tracer().event_count() + obs::tracer().dropped() +
+        obs::metrics().datapoint_count());
+    obs::tracer().disable();
+    obs::metrics().disable();
+    r.sites_per_step = sites / static_cast<double>(spec.params.num_steps);
+  }
+
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    harness::run_gpu(spec, ranks);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.step_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                static_cast<double>(spec.params.num_steps);
+  }
+  return r;
 }
 
 }  // namespace simcov::bench

@@ -1,0 +1,36 @@
+// Overhead gate for the observability layer (src/obs).
+//
+// Not a paper figure: an engineering check that the always-compiled tracer
+// and metrics registry stay effectively free when disabled.  The measured
+// per-site cost (one relaxed atomic load + branch) times the number of
+// span/metric sites a real step hits must stay under 2% of the measured
+// step wall time.  If this check starts MISSing, either a span site gained
+// work on the disabled path or sites multiplied faster than step cost.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace simcov;
+  using namespace simcov::bench;
+
+  print_header("Observability overhead (collectors disabled)",
+               "n/a (engineering gate, not a paper figure)",
+               "gpu engine, 4 ranks, 96x96, 30 steps");
+
+  harness::RunSpec spec;
+  spec.params = bench_params(96, 96, 30, 2);
+  const ObsOverheadReport r = measure_obs_overhead(spec, 4);
+
+  TextTable t({"quantity", "value"});
+  t.add_row({"disabled site cost (ns)", fmt(r.ns_per_site, 3)});
+  t.add_row({"sites per step", fmt(r.sites_per_step, 1)});
+  t.add_row({"step wall time (ms)", fmt(r.step_ns / 1e6, 3)});
+  t.add_row({"disabled overhead", fmt(r.overhead() * 100.0, 4) + "%"});
+  std::printf("%s", t.to_string().c_str());
+
+  print_shape_check("disabled-observability overhead <= 2% of step time",
+                    r.overhead() <= 0.02);
+  return 0;
+}

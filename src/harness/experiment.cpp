@@ -1,8 +1,15 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
 #include "core/grid.hpp"
 #include "core/reference_sim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/table.hpp"
 
 namespace simcov::harness {
 
@@ -49,6 +56,86 @@ BackendResult run_gpu(const RunSpec& spec, int gpu_ranks,
 double speedup(const BackendResult& cpu, const BackendResult& gpu) {
   SIMCOV_REQUIRE(gpu.modeled_seconds > 0.0, "GPU runtime is zero");
   return cpu.modeled_seconds / gpu.modeled_seconds;
+}
+
+namespace {
+
+/// Fails fast on an unwritable output path (bad directory, permissions).
+/// Opens in append mode so an existing file's contents survive the probe;
+/// the real write at flush time truncates it anyway.
+void require_writable(const std::string& path, const char* what) {
+  std::ofstream probe(path, std::ios::out | std::ios::app);
+  if (!probe) {
+    throw Error(std::string(what) + " output path '" + path +
+                "' is not writable");
+  }
+}
+
+/// Measured per-phase wall-clock breakdown from the "phase.*.wall_ns"
+/// counters the PhaseClock accumulates: mean and max over ranks (the gap
+/// between them is load skew) and each phase's share of the total.
+void print_phase_breakdown(std::FILE* out) {
+  const auto counters = obs::metrics().counters();
+  struct Row {
+    const char* name;
+    double mean_ns, max_ns, total_ns;
+  };
+  std::vector<Row> rows;
+  double grand = 0.0;
+  for (int p = 0; p < perfmodel::kNumPhases; ++p) {
+    const char* name = perfmodel::phase_name(static_cast<perfmodel::Phase>(p));
+    const auto it = counters.find(std::string("phase.") + name + ".wall_ns");
+    if (it == counters.end() || it->second.empty()) continue;
+    double sum = 0.0, mx = 0.0;
+    for (const auto& [rank, v] : it->second) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    rows.push_back({name, sum / static_cast<double>(it->second.size()), mx,
+                    sum});
+    grand += sum;
+  }
+  if (rows.empty() || grand <= 0.0) return;
+  TextTable t({"phase", "mean ms/rank", "max ms/rank", "share"});
+  for (const Row& r : rows) {
+    t.add_row({r.name, fmt(r.mean_ns / 1e6, 3), fmt(r.max_ns / 1e6, 3),
+               fmt(r.total_ns / grand * 100.0, 1) + "%"});
+  }
+  std::fprintf(out, "measured phase wall-clock breakdown:\n%s",
+               t.to_string().c_str());
+}
+
+}  // namespace
+
+void configure_observability(const std::string& trace_path,
+                             const std::string& metrics_path) {
+  if (!trace_path.empty()) {
+    require_writable(trace_path, "trace");
+    obs::tracer().enable(trace_path);
+  }
+  if (!metrics_path.empty()) {
+    require_writable(metrics_path, "metrics");
+    obs::metrics().enable(metrics_path);
+  }
+}
+
+void finish_observability() {
+  obs::Tracer& tr = obs::tracer();
+  if (tr.enabled() && !tr.path().empty()) {
+    const std::string path = tr.path();
+    const std::size_t events = tr.event_count();
+    tr.flush();
+    std::fprintf(stderr, "trace written to %s (%zu events)\n", path.c_str(),
+                 events);
+  }
+  obs::MetricsRegistry& m = obs::metrics();
+  if (m.enabled()) {
+    print_phase_breakdown(stderr);
+    if (!m.path().empty()) {
+      m.flush();
+      std::fprintf(stderr, "metrics written to %s\n", m.path().c_str());
+    }
+  }
 }
 
 }  // namespace simcov::harness

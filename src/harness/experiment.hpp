@@ -54,4 +54,17 @@ constexpr int cpus_for_gpus(int gpus) { return 32 * gpus; }
 /// Formats a speedup annotation as in Figs. 6-8 (CPU runtime / GPU runtime).
 double speedup(const BackendResult& cpu, const BackendResult& gpu);
 
+/// Enables the process-wide tracer and/or metrics registry (src/obs) for the
+/// given output paths; an empty path leaves the corresponding collector as
+/// configured by the environment (SIMCOV_TRACE / SIMCOV_METRICS).  Paths are
+/// validated up front — an unwritable path throws simcov::Error immediately
+/// rather than after the simulation has run.
+void configure_observability(const std::string& trace_path,
+                             const std::string& metrics_path);
+
+/// Flushes the trace and metrics to their configured paths and, when metrics
+/// were collected, prints the measured per-phase wall-clock breakdown table
+/// to stderr.  Safe to call when observability is disabled (no-op).
+void finish_observability();
+
 }  // namespace simcov::harness

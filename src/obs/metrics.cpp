@@ -1,0 +1,262 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace simcov::obs {
+
+namespace {
+
+/// Shortest representation that round-trips a double (counters hold exact
+/// integer counts well inside 2^53, so these print as integers).
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0.0;
+  for (int prec = 1; prec <= 16; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) return shorter;
+  }
+  return buf;
+}
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+template <typename PerRank, typename EmitValue>
+void json_group(std::ostream& os, const char* key,
+                const std::map<std::string, PerRank>& group,
+                EmitValue&& emit_value, bool& first_group) {
+  if (!first_group) os << ",\n";
+  first_group = false;
+  os << "\"" << key << "\":{";
+  bool first_name = true;
+  for (const auto& [name, ranks] : group) {
+    if (!first_name) os << ",";
+    first_name = false;
+    os << "\n  \"";
+    json_escape(os, name);
+    os << "\":{";
+    bool first_rank = true;
+    for (const auto& [rank, value] : ranks) {
+      if (!first_rank) os << ",";
+      first_rank = false;
+      os << "\"" << rank << "\":";
+      emit_value(os, value);
+    }
+    os << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() {
+  const char* e = std::getenv("SIMCOV_METRICS");  // NOLINT(concurrency-mt-unsafe)
+  if (e != nullptr && *e != '\0') enable(e);
+}
+
+MetricsRegistry::~MetricsRegistry() {
+  try {
+    flush();
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "simcov: metrics flush failed: %s\n", ex.what());
+  }
+}
+
+void MetricsRegistry::enable(std::string out_path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  path_ = std::move(out_path);
+  datapoints_ = 0;
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+  series_.clear();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::disable() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_.store(false, std::memory_order_relaxed);
+  path_.clear();
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+  series_.clear();
+}
+
+void MetricsRegistry::add(const std::string& name, int rank, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  counters_[name][rank] += delta;
+  ++datapoints_;
+}
+
+void MetricsRegistry::set(const std::string& name, int rank, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  gauges_[name][rank] = value;
+  ++datapoints_;
+}
+
+void MetricsRegistry::observe(const std::string& name, int rank,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  HistSummary& h = hists_[name][rank];
+  if (h.count == 0) {
+    h.min = value;
+    h.max = value;
+  } else {
+    h.min = std::min(h.min, value);
+    h.max = std::max(h.max, value);
+  }
+  ++h.count;
+  h.sum += value;
+  ++datapoints_;
+}
+
+void MetricsRegistry::step_value(const std::string& name, int rank,
+                                 std::uint64_t step, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  series_[name][rank].emplace_back(step, value);
+  ++datapoints_;
+}
+
+double MetricsRegistry::counter_value(const std::string& name,
+                                      int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) return 0.0;
+  auto jt = it->second.find(rank);
+  return jt == it->second.end() ? 0.0 : jt->second;
+}
+
+std::map<std::string, std::map<int, double>> MetricsRegistry::counters()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::uint64_t MetricsRegistry::datapoint_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return datapoints_;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  json_group(os, "counters", counters_,
+             [](std::ostream& o, double v) { o << num(v); }, first);
+  json_group(os, "gauges", gauges_,
+             [](std::ostream& o, double v) { o << num(v); }, first);
+  json_group(os, "histograms", hists_,
+             [](std::ostream& o, const HistSummary& h) {
+               o << "{\"count\":" << h.count << ",\"sum\":" << num(h.sum)
+                 << ",\"min\":" << num(h.min) << ",\"max\":" << num(h.max)
+                 << "}";
+             },
+             first);
+  json_group(os, "series", series_,
+             [](std::ostream& o,
+                const std::vector<std::pair<std::uint64_t, double>>& sv) {
+               o << "[";
+               bool f = true;
+               for (const auto& [step, v] : sv) {
+                 if (!f) o << ",";
+                 f = false;
+                 o << "[" << step << "," << num(v) << "]";
+               }
+               o << "]";
+             },
+             first);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "kind,name,rank,step,value\n";
+  for (const auto& [name, ranks] : counters_) {
+    for (const auto& [rank, v] : ranks) {
+      os << "counter," << name << "," << rank << ",," << num(v) << "\n";
+    }
+  }
+  for (const auto& [name, ranks] : gauges_) {
+    for (const auto& [rank, v] : ranks) {
+      os << "gauge," << name << "," << rank << ",," << num(v) << "\n";
+    }
+  }
+  for (const auto& [name, ranks] : hists_) {
+    for (const auto& [rank, h] : ranks) {
+      os << "histogram_count," << name << "," << rank << ",," << h.count
+         << "\n";
+      os << "histogram_sum," << name << "," << rank << ",," << num(h.sum)
+         << "\n";
+      os << "histogram_min," << name << "," << rank << ",," << num(h.min)
+         << "\n";
+      os << "histogram_max," << name << "," << rank << ",," << num(h.max)
+         << "\n";
+    }
+  }
+  for (const auto& [name, ranks] : series_) {
+    for (const auto& [rank, sv] : ranks) {
+      for (const auto& [step, v] : sv) {
+        os << "series," << name << "," << rank << "," << step << ","
+           << num(v) << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+void MetricsRegistry::write(const std::string& file_path) const {
+  const bool csv = file_path.size() >= 4 &&
+                   file_path.compare(file_path.size() - 4, 4, ".csv") == 0;
+  std::ofstream f(file_path, std::ios::trunc);
+  SIMCOV_REQUIRE(f.good(),
+                 "cannot open metrics file for writing: " + file_path);
+  f << (csv ? to_csv() : to_json());
+  f.flush();
+  SIMCOV_REQUIRE(f.good(), "failed writing metrics file: " + file_path);
+}
+
+void MetricsRegistry::flush() {
+  std::string p = path();
+  if (!enabled() || p.empty()) return;
+  write(p);
+}
+
+std::string MetricsRegistry::path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return path_;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+}  // namespace simcov::obs

@@ -1,0 +1,100 @@
+#pragma once
+// Per-rank runtime metrics registry with a step-level snapshot exporter.
+//
+// Where the tracer answers "when did this rank do what", the metrics
+// registry answers "how much": cumulative counters (per-phase wall time,
+// tile activations), gauges (last-observed values), histograms (RPC drain
+// batch sizes), and per-step series (barrier wait per rank to expose skew,
+// halo bytes, active-tile occupancy, voxels touched per step).  Every
+// metric is keyed (name, rank) so cross-rank skew is directly visible.
+//
+// Snapshots export as JSON (default) or CSV (path ending in ".csv").  All
+// maps are ordered, so for a fixed seed and rank count the exported
+// structure — and every value that is not a wall-clock measurement — is
+// bit-identical across runs (tested in tests/obs_test.cpp).
+//
+// Enabling: SIMCOV_METRICS=<path> in the environment, --metrics-out=<path>
+// on simcov_main, or obs::metrics().enable(path); an empty path collects
+// without auto-writing (used for the end-of-run phase table).  Disabled
+// cost at a call site is one relaxed atomic load and one branch — callers
+// must guard with `if (obs::metrics().enabled())`.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace simcov::obs {
+
+/// Histogram summary: count / sum / min / max (quantile-free on purpose;
+/// the full distributions belong in the trace, not the snapshot).
+struct HistSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Reads SIMCOV_METRICS once; a non-empty value enables collection with
+  /// that output path.
+  MetricsRegistry();
+  /// Last-chance flush, mirroring the tracer.
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Starts collecting.  `out_path` may be empty (collect only).  Clears
+  /// any previously collected data.
+  void enable(std::string out_path = "");
+  /// Stops collecting and discards all data.
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // ---- recording (thread-safe; no-ops when disabled) ----------------------
+  void add(const std::string& name, int rank, double delta);       ///< counter
+  void set(const std::string& name, int rank, double value);       ///< gauge
+  void observe(const std::string& name, int rank, double value);   ///< histogram
+  /// Appends one (step, value) sample to a per-rank series.
+  void step_value(const std::string& name, int rank, std::uint64_t step,
+                  double value);
+
+  // ---- queries -------------------------------------------------------------
+  double counter_value(const std::string& name, int rank) const;
+  /// All counters: name -> rank -> value (sorted, for reports).
+  std::map<std::string, std::map<int, double>> counters() const;
+  /// Total recorded datapoints (used by the overhead bench to count sites).
+  std::uint64_t datapoint_count() const;
+
+  // ---- export -------------------------------------------------------------
+  std::string to_json() const;
+  std::string to_csv() const;
+  /// Writes JSON, or CSV when the path ends in ".csv".  Throws on failure.
+  void write(const std::string& path) const;
+  /// Writes to the enabled path, if any.
+  void flush();
+  std::string path() const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::uint64_t datapoints_ = 0;
+  std::map<std::string, std::map<int, double>> counters_;
+  std::map<std::string, std::map<int, double>> gauges_;
+  std::map<std::string, std::map<int, HistSummary>> hists_;
+  std::map<std::string,
+           std::map<int, std::vector<std::pair<std::uint64_t, double>>>>
+      series_;
+};
+
+/// The process-wide registry (one process hosts all ranks).
+MetricsRegistry& metrics();
+
+}  // namespace simcov::obs

@@ -1,0 +1,73 @@
+#pragma once
+// Wall-clock phase instrumentation for a bulk-synchronous rank loop.
+//
+// Both backends already mark the end of every timestep phase for the
+// performance model (record_phase); PhaseClock piggybacks on the same
+// points so the *measured* phases and the *modeled* phases share one enum
+// and one set of names (perfmodel::phase_name).  Per step it produces:
+//
+//   * one span per phase region on the rank's trace track, covering
+//     contiguously from the previous mark to now;
+//   * one enclosing "step" span;
+//   * cumulative counters "phase.<name>.wall_ns" and "step.wall_ns" per
+//     rank in the metrics registry — the input of the end-of-run phase
+//     breakdown table (harness::print_phase_breakdown).
+//
+// Disabled cost: begin_step pays the two enablement loads; phase_end and
+// end_step then pay a single branch each.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace simcov::obs {
+
+class PhaseClock {
+ public:
+  /// `track` is the PGAS rank id.
+  explicit PhaseClock(int track) : track_(track) {}
+
+  /// Call at the top of step(); re-samples enablement so a tracer enabled
+  /// between runs is honoured without reconstructing the simulation.
+  void begin_step() {
+    trace_ = tracer().enabled();
+    metrics_ = metrics().enabled();
+    if (!trace_ && !metrics_) return;
+    step_start_ = now_ns();
+    mark_ = step_start_;
+  }
+
+  /// Closes the phase region that started at the previous mark (or at
+  /// begin_step for the first phase).  `name` must be a static string.
+  void phase_end(const char* name) {
+    if (!trace_ && !metrics_) return;
+    const Nanos t = now_ns();
+    if (trace_) tracer().record(name, track_, mark_, t);
+    if (metrics_) {
+      metrics().add(std::string("phase.") + name + ".wall_ns", track_,
+                    static_cast<double>(t - mark_));
+    }
+    mark_ = t;
+  }
+
+  /// Closes the enclosing step span.
+  void end_step() {
+    if (!trace_ && !metrics_) return;
+    const Nanos t = now_ns();
+    if (trace_) tracer().record("step", track_, step_start_, t);
+    if (metrics_) {
+      metrics().add("step.wall_ns", track_,
+                    static_cast<double>(t - step_start_));
+    }
+  }
+
+ private:
+  int track_;
+  bool trace_ = false;
+  bool metrics_ = false;
+  Nanos step_start_ = 0;
+  Nanos mark_ = 0;
+};
+
+}  // namespace simcov::obs

@@ -1,0 +1,128 @@
+#pragma once
+// Wall-clock span tracer.
+//
+// The perfmodel records *modeled* seconds; this layer records *measured*
+// ones.  Every PGAS rank is a track; a span is a named wall-clock interval
+// on a track (a simulation phase, a barrier wait, an RPC drain, a put).
+// Spans land in a thread-safe ring buffer and are flushed as Chrome
+// trace-event JSON ("traceEvents" array of "ph":"X" complete events), which
+// loads directly in Perfetto or chrome://tracing with one named track per
+// rank.
+//
+// Enabling: set SIMCOV_TRACE=<path> in the environment (picked up the first
+// time the global tracer is touched), pass --trace=<path> to simcov_main,
+// or call obs::tracer().enable(path) programmatically before the run.  An
+// empty path collects spans in memory only (tests, overhead benches).
+//
+// Overhead contract: when tracing is disabled every span site costs one
+// relaxed atomic load and one branch — no clock read, no lock, no
+// allocation.  This is asserted by bench/obs_overhead.cpp.  When enabled,
+// recording takes two steady_clock reads and one short mutex-guarded ring
+// write.  When the ring is full the *oldest* spans are overwritten (the
+// tail of a run is usually the interesting part) and a drop counter is
+// kept.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace simcov::obs {
+
+/// Monotonic nanoseconds (std::chrono::steady_clock).
+using Nanos = std::int64_t;
+Nanos now_ns();
+
+/// One completed span.  `name` must point at storage that outlives the
+/// tracer (phase names and span-site literals are static strings).
+struct TraceEvent {
+  const char* name;
+  int track;  ///< PGAS rank id; rendered as one named Perfetto track each
+  Nanos start_ns;
+  Nanos end_ns;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+  /// Reads SIMCOV_TRACE once; a non-empty value enables tracing to that
+  /// path.  (Read before any rank threads exist; nothing calls setenv.)
+  Tracer();
+  /// Flushes to the configured path so SIMCOV_TRACE works for any binary
+  /// even if it never calls flush() explicitly.
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts collecting.  `path` may be empty (collect only, no auto-flush).
+  /// Resets the ring, the drop counter and the time origin.
+  void enable(std::string path, std::size_t capacity = kDefaultCapacity);
+  /// Stops collecting and discards buffered spans.
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span (thread-safe; no-op when disabled).
+  void record(const char* name, int track, Nanos start_ns, Nanos end_ns);
+
+  std::size_t event_count() const;
+  std::uint64_t dropped() const;
+  std::string path() const;
+
+  /// Buffered spans, oldest first (testing / programmatic consumption).
+  std::vector<TraceEvent> events() const;
+
+  /// Serializes the buffer as Chrome trace-event JSON.  Spans are sorted by
+  /// start time (ties: longer span first) so per-track timestamps are
+  /// monotonically non-decreasing and parents precede children.
+  void write_json(std::ostream& os) const;
+  std::string to_json() const;
+
+  /// Writes to `path` (throws simcov::Error if the file cannot be written).
+  void write_json_file(const std::string& path) const;
+
+  /// Writes to the enabled path, if any.  Safe to call repeatedly.
+  void flush();
+
+ private:
+  std::atomic<bool> enabled_{false};
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t next_ = 0;  ///< ring write cursor
+  bool wrapped_ = false;
+  std::uint64_t dropped_ = 0;
+  std::string path_;
+  Nanos origin_ = 0;  ///< timestamps are exported relative to enable() time
+};
+
+/// The process-wide tracer.  Ranks are threads of one process, so one
+/// tracer sees every track; enable/disable before starting a run.
+Tracer& tracer();
+
+/// RAII span: costs one branch when tracing is disabled (see Tracer docs).
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, int track)
+      : name_(name), track_(track),
+        start_(tracer().enabled() ? now_ns() : kInactive) {}
+  ~ScopedSpan() {
+    if (start_ != kInactive) tracer().record(name_, track_, start_, now_ns());
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  static constexpr Nanos kInactive = -1;
+  const char* name_;
+  int track_;
+  Nanos start_;
+};
+
+}  // namespace simcov::obs

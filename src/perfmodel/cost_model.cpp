@@ -48,6 +48,11 @@ double CostModel::price(const WorkSample& s) const {
     t += static_cast<double>(s.comm.put_bytes) * g.link_byte_s * B;
     t += static_cast<double>(s.comm.reductions) * g.allreduce_latency_s *
          log2_world_;
+    // Broadcasts: tree-structured like the reductions (log2(P) latency),
+    // payload moving over the same links as halo puts.
+    t += static_cast<double>(s.comm.broadcasts) * g.allreduce_latency_s *
+         log2_world_;
+    t += static_cast<double>(s.comm.broadcast_bytes) * g.link_byte_s * B;
   } else {
     const CpuSpec& c = spec_.cpu;
     t += static_cast<double>(s.cpu_voxel_updates) * c.voxel_update_s * A;
@@ -59,6 +64,9 @@ double CostModel::price(const WorkSample& s) const {
     t += static_cast<double>(s.comm.barriers) * c.barrier_base_s * log2_world_;
     t += static_cast<double>(s.comm.reductions) * c.allreduce_base_s *
          log2_world_;
+    t += static_cast<double>(s.comm.broadcasts) * c.allreduce_base_s *
+         log2_world_;
+    t += static_cast<double>(s.comm.broadcast_bytes) * c.copy_byte_s * B;
   }
   return t;
 }

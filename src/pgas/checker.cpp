@@ -13,6 +13,7 @@ const char* collective_op_name(CollectiveOp op) {
     case CollectiveOp::kSum: return "allreduce_sum";
     case CollectiveOp::kMax: return "allreduce_max";
     case CollectiveOp::kXor: return "allreduce_xor";
+    case CollectiveOp::kBroadcast: return "broadcast";
   }
   return "<invalid>";
 }

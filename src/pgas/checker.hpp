@@ -58,7 +58,8 @@ using RankId = int;
 
 /// Collective operation tags for shape verification.  Scalar and u64 sums
 /// route through the vector sum, so they share kSum with count == 1.
-enum class CollectiveOp : std::uint8_t { kNone = 0, kSum, kMax, kXor };
+/// Broadcasts verify op + byte count (the root is not part of the shape).
+enum class CollectiveOp : std::uint8_t { kNone = 0, kSum, kMax, kXor, kBroadcast };
 
 const char* collective_op_name(CollectiveOp op);
 

@@ -19,6 +19,13 @@ struct CommStats {
   std::uint64_t barriers = 0;      ///< barrier participations
   std::uint64_t reductions = 0;    ///< collective reductions participated in
   std::uint64_t reduction_bytes = 0; ///< bytes contributed to reductions
+  std::uint64_t broadcasts = 0;      ///< broadcast participations
+  std::uint64_t broadcast_bytes = 0; ///< bytes received/sent in broadcasts
+  /// Cumulative wall-clock time this rank spent waiting at barriers.  A
+  /// *measured* quantity (unlike every other counter, which is exact event
+  /// counting): the per-rank spread of this number is load imbalance.  The
+  /// cost model does not price it; the metrics layer exports it per step.
+  std::uint64_t barrier_wait_ns = 0;
 
   CommStats& operator+=(const CommStats& o) {
     rpcs_sent += o.rpcs_sent;
@@ -28,6 +35,9 @@ struct CommStats {
     barriers += o.barriers;
     reductions += o.reductions;
     reduction_bytes += o.reduction_bytes;
+    broadcasts += o.broadcasts;
+    broadcast_bytes += o.broadcast_bytes;
+    barrier_wait_ns += o.barrier_wait_ns;
     return *this;
   }
 
@@ -41,6 +51,9 @@ struct CommStats {
     d.barriers = barriers - snapshot.barriers;
     d.reductions = reductions - snapshot.reductions;
     d.reduction_bytes = reduction_bytes - snapshot.reduction_bytes;
+    d.broadcasts = broadcasts - snapshot.broadcasts;
+    d.broadcast_bytes = broadcast_bytes - snapshot.broadcast_bytes;
+    d.barrier_wait_ns = barrier_wait_ns - snapshot.barrier_wait_ns;
     return d;
   }
 };

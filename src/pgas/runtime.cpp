@@ -7,6 +7,8 @@
 #include <string_view>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pgas/checker.hpp"
 #include "util/error.hpp"
 
@@ -31,7 +33,14 @@ int Rank::world_size() const { return runtime_.num_ranks_; }
 
 void Rank::barrier() {
   ++stats_.barriers;
+  // Wait time is always measured (two clock reads against a syscall-class
+  // wait): its per-rank spread is the load-imbalance signal the metrics
+  // layer exports, and CommStats carries it whether or not obs is on.
+  const obs::Nanos t0 = obs::now_ns();
   runtime_.barrier_->arrive_and_wait();
+  const obs::Nanos t1 = obs::now_ns();
+  stats_.barrier_wait_ns += static_cast<std::uint64_t>(t1 - t0);
+  if (obs::tracer().enabled()) obs::tracer().record("barrier", id_, t0, t1);
   if (auto* ck = runtime_.checker_.get()) ck->on_barrier(id_);
 }
 
@@ -57,6 +66,13 @@ void Rank::progress() {
       batch.swap(rpc_queue_);
     }
     if (batch.empty()) break;
+    // Queue depth at drain time: the distribution (not just the total RPC
+    // count) shows whether tiebreak traffic arrives bursty or steady.
+    if (obs::metrics().enabled()) {
+      obs::metrics().observe("pgas.rpc_batch", id_,
+                             static_cast<double>(batch.size()));
+    }
+    obs::ScopedSpan span("rpc_drain", id_);
     for (auto& fn : batch) fn();
   }
 }
@@ -148,6 +164,28 @@ std::uint64_t Rank::allreduce_xor(std::uint64_t value) {
   return out;
 }
 
+void Rank::broadcast(RankId root, std::span<std::byte> data) {
+  SIMCOV_REQUIRE(root >= 0 && root < world_size(),
+                 "broadcast root rank out of range");
+  ++stats_.broadcasts;
+  stats_.broadcast_bytes += data.size();
+  auto* ck = runtime_.checker_.get();
+  if (ck) ck->on_collective_enter(id_, CollectiveOp::kBroadcast, data.size());
+  obs::ScopedSpan span("broadcast", id_);
+  auto& buf = runtime_.bcast_buf_;
+  if (id_ == root) buf.assign(data.begin(), data.end());
+  barrier();
+  // Shape mismatch under the checker: skip the copy (same limp-to-report
+  // policy as the reductions — see allreduce_sum).
+  const bool combine = ck == nullptr || ck->on_collective_verify(id_);
+  if (combine && id_ != root && !data.empty()) {
+    SIMCOV_REQUIRE(buf.size() == data.size(),
+                   "broadcast called with mismatched sizes across ranks");
+    std::memcpy(data.data(), buf.data(), data.size());
+  }
+  barrier();  // all ranks done reading before the buffer is reused
+}
+
 void Rank::register_channel(int chan, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(channel_mutex_);
   auto [it, inserted] = channels_.try_emplace(chan);
@@ -161,6 +199,7 @@ void Rank::put(RankId target, int chan, std::span<const std::byte> data,
                  "put target rank out of range");
   ++stats_.puts;
   stats_.put_bytes += data.size();
+  obs::ScopedSpan span("put", id_);
   Rank& t = *runtime_.ranks_[static_cast<std::size_t>(target)];
   std::lock_guard<std::mutex> lock(t.channel_mutex_);
   auto it = t.channels_.find(chan);

@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "pgas/comm_stats.hpp"
@@ -89,6 +90,23 @@ class Rank {
   std::uint64_t allreduce_xor(std::uint64_t value);
   /// Element-wise sum of equal-length vectors (statistics reductions).
   std::vector<double> allreduce_sum(std::span<const double> values);
+
+  /// Collective broadcast: `root`'s bytes are copied into every rank's
+  /// `data`.  All ranks (including root) must call with the same root and
+  /// the same size; root's buffer is left untouched.  Counted in CommStats
+  /// as one broadcast participation of data.size() bytes per rank, which
+  /// the cost model prices as a log2(P) collective (broadcasts were
+  /// previously invisible to the perfmodel).
+  void broadcast(RankId root, std::span<std::byte> data);
+
+  /// Convenience broadcast of one trivially copyable value.
+  template <typename T>
+  T broadcast_value(RankId root, T value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "broadcast_value requires a trivially copyable type");
+    broadcast(root, std::as_writable_bytes(std::span<T>(&value, 1)));
+    return value;
+  }
 
   /// Registers a landing zone `channel` of `bytes` bytes on this rank.
   /// Peers put() into it; this rank reads it after a barrier.
@@ -162,6 +180,11 @@ class Runtime {
   // slot) and cross-rank reads are separated by the collective's barriers,
   // which establish the necessary happens-before; no lock is needed.
   std::vector<std::vector<double>> collective_slots_;
+
+  // Broadcast scratch: only the root writes (before the exchange barrier),
+  // peers read between the barriers — same happens-before argument as the
+  // collective slots.
+  std::vector<std::byte> bcast_buf_;
 
   // Non-null for the duration of run() when checking is enabled; recreated
   // fresh per job alongside the Rank objects.

@@ -9,6 +9,9 @@
 
 #include "core/grid.hpp"
 #include "core/rules.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_clock.hpp"
+#include "obs/trace.hpp"
 #include "pgas/runtime.hpp"
 #include "util/error.hpp"
 
@@ -50,7 +53,7 @@ class CpuRank {
       : rank_(rank), params_(params),
         grid_(params.dim_x, params.dim_y, params.dim_z),
         sub_(dec.sub(rank.id())), rng_(params.seed), registry_(registry),
-        cost_log_(model) {
+        cost_log_(model), pclock_(rank.id()) {
     // 2D or 3D: the rank decomposition cuts x/y and keeps z whole (like
     // the original SIMCoV-CPU's 2D decomposition of a 3D volume), so all
     // cross-rank interactions stay on x/y faces; z neighbours are local.
@@ -112,6 +115,7 @@ class CpuRank {
   /// Initial halo exchange + initial active list.  Call after the registry
   /// is fully populated (one barrier after construction).
   void initialize() {
+    obs::ScopedSpan span("initialize", rank_.id());
     exchange_state_halo();
     for (std::int32_t z = 0; z < dz_; ++z) {
       for (std::int32_t y = 0; y < h_; ++y) {
@@ -128,6 +132,9 @@ class CpuRank {
 
   void step() {
     StepStats stats;
+    const bool emit_metrics = obs::metrics().enabled();
+    if (emit_metrics) step_comm_snapshot_ = rank_.stats();
+    pclock_.begin_step();
     snapshot_counters();
     phase_tcells(stats);
     record_phase(perfmodel::Phase::kTCells);
@@ -141,6 +148,8 @@ class CpuRank {
     record_phase(perfmodel::Phase::kHalo);
     phase_reduce(stats);
     record_phase(perfmodel::Phase::kReduceStats);
+    pclock_.end_step();
+    if (emit_metrics) emit_step_metrics();
     cost_log_.end_step();
     history_.push_back(stats);
     ++step_;
@@ -672,6 +681,7 @@ class CpuRank {
   void snapshot_counters() {
     comm_snapshot_ = rank_.stats();
     work_ = {};
+    step_voxel_updates_ = 0;
   }
 
   void record_phase(perfmodel::Phase phase) {
@@ -681,7 +691,27 @@ class CpuRank {
     sample.cpu_list_ops = work_.cpu_list_ops;
     cost_log_.add(phase, sample);
     comm_snapshot_ = rank_.stats();
+    step_voxel_updates_ += work_.cpu_voxel_updates;
     work_ = {};
+    // The modeled phases double as the measured trace spans (one vocabulary
+    // for cost model and Perfetto track).
+    pclock_.phase_end(perfmodel::phase_name(phase));
+  }
+
+  /// Per-step metric series: halo traffic, RPC volume, barrier skew, and
+  /// the active-list working set.
+  void emit_step_metrics() {
+    auto& m = obs::metrics();
+    const int r = rank_.id();
+    const pgas::CommStats d = rank_.stats().since(step_comm_snapshot_);
+    m.step_value("cpu.halo_bytes", r, step_, static_cast<double>(d.put_bytes));
+    m.step_value("cpu.rpcs", r, step_, static_cast<double>(d.rpcs_sent));
+    m.step_value("pgas.barrier_wait_ns", r, step_,
+                 static_cast<double>(d.barrier_wait_ns));
+    m.step_value("cpu.active_voxels", r, step_,
+                 static_cast<double>(active_list_.size()));
+    m.step_value("cpu.voxels_touched", r, step_,
+                 static_cast<double>(step_voxel_updates_));
   }
 
   struct WorkCounters {
@@ -726,8 +756,11 @@ class CpuRank {
 
   TimeSeries history_;
   perfmodel::RankCostLog cost_log_;
+  obs::PhaseClock pclock_;
   pgas::CommStats comm_snapshot_;
+  pgas::CommStats step_comm_snapshot_;
   WorkCounters work_;
+  std::uint64_t step_voxel_updates_ = 0;
 };
 
 }  // namespace
@@ -752,6 +785,13 @@ CpuRunResult run_cpu_sim(const SimParams& params,
   rt.run([&](pgas::Rank& rank) {
     CpuRank sim(rank, params, dec, foi, empty_voxels, model, registry);
     registry[static_cast<std::size_t>(rank.id())] = &sim;
+    // SPMD sanity: rank 0 broadcasts a digest of its parameter set and every
+    // rank checks its own copy against it.  Setup traffic happens before the
+    // first step's counter snapshot, so this stays outside the modeled
+    // per-phase costs.
+    const std::uint64_t pdigest = std::hash<std::string>{}(params.summary());
+    SIMCOV_REQUIRE(rank.broadcast_value<std::uint64_t>(0, pdigest) == pdigest,
+                   "ranks disagree on the simulation parameter set");
     rank.barrier();
     sim.initialize();
     rank.barrier();

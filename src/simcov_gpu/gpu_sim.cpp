@@ -9,6 +9,9 @@
 #include "core/grid.hpp"
 #include "core/rules.hpp"
 #include "gpusim/gpusim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_clock.hpp"
+#include "obs/trace.hpp"
 #include "pgas/runtime.hpp"
 #include "simcov_gpu/layout.hpp"
 #include "simcov_gpu/tiles.hpp"
@@ -68,7 +71,7 @@ class GpuRank {
         sub_(dec.sub(rank.id())), rng_(params.seed), variant_(variant),
         lay_(sub_.extent.x, sub_.extent.y, params.tile_side),
         tiles_(lay_, variant.memory_tiling), dev_(rank.id()),
-        cost_log_(model),
+        cost_log_(model), pclock_(rank.id()),
         // Device allocations: full padded layout per field.
         epi_state_(dev_, lay_.size(), static_cast<std::uint8_t>(EpiState::kEmpty)),
         epi_timer_(dev_, lay_.size(), 0),
@@ -109,12 +112,16 @@ class GpuRank {
   GpuRank& operator=(const GpuRank&) = delete;
 
   void initialize() {
+    obs::ScopedSpan span("initialize", rank_.id());
     exchange_state_halo();
     run_tile_sweep();  // initial activation from the FOI seeds
   }
 
   void step() {
     StepStats stats;
+    const bool emit_metrics = obs::metrics().enabled();
+    if (emit_metrics) step_comm_snapshot_ = rank_.stats();
+    pclock_.begin_step();
     snapshot_counters();
 
     // ---- T cell kernels (Fig. 2) ------------------------------------------
@@ -159,6 +166,8 @@ class GpuRank {
     reduce_stats(stats);
     record_phase(perfmodel::Phase::kReduceStats);
 
+    pclock_.end_step();
+    if (emit_metrics) emit_step_metrics();
     cost_log_.end_step();
     history_.push_back(stats);
     ++step_;
@@ -755,6 +764,7 @@ class GpuRank {
   }
 
   void run_tile_sweep() {
+    obs::ScopedSpan span("tile_sweep_scan", rank_.id());
     // One block per tile scans its voxels; the block flag lives in shared
     // memory and one thread publishes it (§3.2).
     const auto spt = static_cast<std::uint32_t>(lay_.slots_per_tile());
@@ -913,6 +923,31 @@ class GpuRank {
     cost_log_.add(phase, sample);
     comm_snapshot_ = rank_.stats();
     dev_snapshot_ = dev_.stats();
+    // The modeled phases double as the measured trace spans, so the
+    // Perfetto track and the cost model speak the same phase vocabulary.
+    pclock_.phase_end(perfmodel::phase_name(phase));
+  }
+
+  /// Per-step metric series (§3.2/§3.3 observability): halo traffic,
+  /// barrier skew, and the active-tile working set.
+  void emit_step_metrics() {
+    auto& m = obs::metrics();
+    const int r = rank_.id();
+    const pgas::CommStats d = rank_.stats().since(step_comm_snapshot_);
+    m.step_value("gpu.halo_bytes", r, step_, static_cast<double>(d.put_bytes));
+    m.step_value("pgas.barrier_wait_ns", r, step_,
+                 static_cast<double>(d.barrier_wait_ns));
+    const double tiles = static_cast<double>(tiles_.active_count());
+    const double total = static_cast<double>(lay_.num_tiles());
+    m.step_value("gpu.active_tiles", r, step_, tiles);
+    m.step_value("gpu.tile_occupancy", r, step_,
+                 total > 0.0 ? tiles / total : 0.0);
+    m.step_value("gpu.voxels_touched", r, step_,
+                 tiles * static_cast<double>(lay_.slots_per_tile()));
+    m.set("gpu.tile_activations", r,
+          static_cast<double>(tiles_.activations()));
+    m.set("gpu.tile_deactivations", r,
+          static_cast<double>(tiles_.deactivations()));
   }
 
   // ---- members -----------------------------------------------------------------------
@@ -926,6 +961,7 @@ class GpuRank {
   ActiveTileSet tiles_;
   Device dev_;
   perfmodel::RankCostLog cost_log_;
+  obs::PhaseClock pclock_;
 
   std::int32_t w_ = 0, h_ = 0;
   std::uint32_t reduce_block_ = 128;
@@ -959,6 +995,7 @@ class GpuRank {
 
   TimeSeries history_;
   pgas::CommStats comm_snapshot_;
+  pgas::CommStats step_comm_snapshot_;
   gpusim::DeviceStats dev_snapshot_;
 };
 
@@ -1001,6 +1038,13 @@ GpuRunResult run_gpu_sim(const SimParams& params,
 
   rt.run([&](pgas::Rank& rank) {
     GpuRank sim(rank, params, dec, foi, empty_voxels, options.variant, model);
+    // SPMD sanity: rank 0 broadcasts a digest of its parameter set and every
+    // rank checks its own copy against it.  Setup traffic happens before the
+    // first step's counter snapshot, so this stays outside the modeled
+    // per-phase costs.
+    const std::uint64_t pdigest = std::hash<std::string>{}(params.summary());
+    SIMCOV_REQUIRE(rank.broadcast_value<std::uint64_t>(0, pdigest) == pdigest,
+                   "ranks disagree on the simulation parameter set");
     rank.barrier();
     sim.initialize();
     rank.barrier();

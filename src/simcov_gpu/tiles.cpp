@@ -40,6 +40,7 @@ void ActiveTileSet::update_from_sweep(const std::vector<std::uint8_t>& raw) {
   if (!tiling_) return;  // everything stays active
   SIMCOV_REQUIRE(raw.size() == flags_.size(),
                  "sweep result has the wrong tile count");
+  const std::vector<std::uint8_t> prev = flags_;
   flags_ = always_;
   auto activate = [&](std::int32_t x, std::int32_t y) {
     if (x < 0 || x >= tx_ || y < 0 || y >= ty_) return;
@@ -54,6 +55,10 @@ void ActiveTileSet::update_from_sweep(const std::vector<std::uint8_t>& raw) {
         for (std::int32_t dx = -1; dx <= 1; ++dx) activate(x + dx, y + dy);
       }
     }
+  }
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    if (flags_[i] && !prev[i]) ++activations_;
+    else if (!flags_[i] && prev[i]) ++deactivations_;
   }
   rebuild_list();
 }

@@ -34,11 +34,19 @@ class ActiveTileSet {
   std::size_t active_count() const { return list_.size(); }
   std::int32_t num_tiles() const { return tx_ * ty_; }
 
+  /// Cumulative tile state transitions across sweeps (relative to the
+  /// previous sweep's flags; initial construction does not count).  The
+  /// metrics layer exports these to show how the active set churns.
+  std::uint64_t activations() const { return activations_; }
+  std::uint64_t deactivations() const { return deactivations_; }
+
  private:
   void rebuild_list();
 
   std::int32_t tx_, ty_;
   bool tiling_;
+  std::uint64_t activations_ = 0;
+  std::uint64_t deactivations_ = 0;
   /// Tiles that can never deactivate: border (ghost-adjacent) tiles, plus —
   /// when a domain edge is ragged (edge tile thinner than the tile side) —
   /// the ring just inside that edge.  A ragged edge tile can be crossed in

@@ -5,7 +5,20 @@
 // PPM / checkpoint output, and checkpoint resume (reference engine).
 //
 // Usage:
-//   simcov [--config FILE] [key=value ...]
+//   simcov [--config FILE] [--trace=FILE] [--metrics-out=FILE] [key=value ...]
+//
+// Observability flags (see src/obs and the README "Observability" section):
+//   --trace=FILE        write a Chrome-trace-event JSON (Perfetto /
+//                       chrome://tracing) with one track per PGAS rank and a
+//                       span per simulation phase.  Equivalent to setting
+//                       SIMCOV_TRACE=FILE in the environment.
+//   --metrics-out=FILE  write the runtime metrics snapshot (JSON, or CSV when
+//                       FILE ends in .csv): per-step halo bytes, barrier wait,
+//                       active-tile occupancy, RPC histograms, ...  Equivalent
+//                       to SIMCOV_METRICS=FILE.  Also prints the measured
+//                       per-phase wall-clock breakdown to stderr.
+// Both paths are validated before the run starts; an unwritable path is a
+// hard error up front, not after the simulation has finished.
 //
 // Driver keys (everything else is a SimParams key, see core/params.hpp):
 //   engine        reference | cpu | gpu          (default reference)
@@ -213,14 +226,34 @@ int run(const Config& cfg) {
 
 int main(int argc, char** argv) {
   try {
-    Config cfg;
-    int first_kv = 1;
-    if (argc >= 3 && std::string(argv[1]) == "--config") {
-      cfg = Config::from_file(argv[2]);
-      first_kv = 3;
+    // Observability flags come out of argv first: they are process-level
+    // (not simulation parameters) and must be validated before anything
+    // expensive runs.
+    std::string trace_path, metrics_path;
+    std::vector<char*> rest;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--trace=", 0) == 0) {
+        trace_path = a.substr(8);
+      } else if (a.rfind("--metrics-out=", 0) == 0) {
+        metrics_path = a.substr(14);
+      } else {
+        rest.push_back(argv[i]);
+      }
     }
-    cfg.merge(Config::from_args(argc - first_kv, argv + first_kv));
-    return run(cfg);
+    harness::configure_observability(trace_path, metrics_path);
+
+    Config cfg;
+    std::size_t first_kv = 0;
+    if (rest.size() >= 2 && std::string(rest[0]) == "--config") {
+      cfg = Config::from_file(rest[1]);
+      first_kv = 2;
+    }
+    cfg.merge(Config::from_args(static_cast<int>(rest.size() - first_kv),
+                                rest.data() + first_kv));
+    const int rc = run(cfg);
+    harness::finish_observability();
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

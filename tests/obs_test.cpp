@@ -1,0 +1,444 @@
+// Observability layer: tracer ring semantics, Chrome-trace JSON validity
+// (parseable, per-track monotone timestamps, properly nested spans), metrics
+// registry recording/export, snapshot determinism for a fixed seed and rank
+// count, and a multi-rank GPU run under the PGAS discipline checker with the
+// tracer on.
+//
+// The tracer and registry are process-wide singletons; every test starts
+// from and returns to the disabled state.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "simcov_gpu/gpu_sim.hpp"
+#include "util/error.hpp"
+
+namespace simcov {
+namespace {
+
+// ---- minimal JSON parser ---------------------------------------------------
+// Just enough for the tracer / metrics output: objects, arrays, strings with
+// the escapes our writers emit, numbers, booleans, null.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool operator==(const JsonValue&) const = default;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    require(pos_ == s_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  void require(bool ok, const char* what) {
+    if (!ok) throw Error(std::string("JSON parse error: ") + what);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    require(pos_ < s_.size(), "unexpected end of input");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    require(peek() == c, "unexpected character");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool consume_word(const char* w) {
+    const std::size_t n = std::string(w).size();
+    if (s_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    JsonValue v;
+    const char c = peek();
+    if (c == '{') {
+      v.kind = JsonValue::Kind::kObject;
+      expect('{');
+      skip_ws();
+      if (!consume('}')) {
+        do {
+          skip_ws();
+          std::string key = string_lit();
+          skip_ws();
+          expect(':');
+          v.obj.emplace(std::move(key), value());
+          skip_ws();
+        } while (consume(','));
+        expect('}');
+      }
+    } else if (c == '[') {
+      v.kind = JsonValue::Kind::kArray;
+      expect('[');
+      skip_ws();
+      if (!consume(']')) {
+        do {
+          v.arr.push_back(value());
+          skip_ws();
+        } while (consume(','));
+        expect(']');
+      }
+    } else if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = string_lit();
+    } else if (consume_word("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+    } else if (consume_word("false")) {
+      v.kind = JsonValue::Kind::kBool;
+    } else if (consume_word("null")) {
+      v.kind = JsonValue::Kind::kNull;
+    } else {
+      v.kind = JsonValue::Kind::kNumber;
+      char* end = nullptr;
+      v.number = std::strtod(s_.c_str() + pos_, &end);
+      require(end != s_.c_str() + pos_, "malformed number");
+      pos_ = static_cast<std::size_t>(end - s_.c_str());
+    }
+    return v;
+  }
+
+  std::string string_lit() {
+    expect('"');
+    std::string out;
+    while (true) {
+      require(pos_ < s_.size(), "unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        require(pos_ < s_.size(), "unterminated escape");
+        const char e = s_[pos_++];
+        if (e == 'u') {
+          require(pos_ + 4 <= s_.size(), "short \\u escape");
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          out.push_back(static_cast<char>(code));  // our writers stay ASCII
+        } else if (e == 'n') {
+          out.push_back('\n');
+        } else if (e == 't') {
+          out.push_back('\t');
+        } else {
+          out.push_back(e);  // '"', '\\', '/'
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- shared helpers --------------------------------------------------------
+
+void reset_obs() {
+  obs::tracer().disable();
+  obs::metrics().disable();
+}
+
+SimParams test_params() {
+  SimParams p = SimParams::covid_default();
+  p.dim_x = 48;
+  p.dim_y = 48;
+  p.dim_z = 1;
+  p.num_steps = 16;  // >= 2 tile sweeps at the default check period of 8
+  p.num_foi = 2;
+  p.incubation_period = 10;
+  p.tcell_initial_delay = 5;
+  p.tcell_generation_rate = 4;
+  p.seed = 7;
+  return p;
+}
+
+void run_gpu_4ranks() {
+  const SimParams p = test_params();
+  gpu::GpuSimOptions opt;
+  opt.num_ranks = 4;
+  harness::RunSpec spec;
+  spec.params = p;
+  (void)gpu::run_gpu_sim(p, spec.resolve_foi(), opt);
+}
+
+/// Exact nanoseconds from an exported microsecond timestamp (the writer
+/// emits exactly three decimals, so round() recovers the integer).
+std::int64_t ns_of(const JsonValue& us) {
+  return std::llround(us.number * 1000.0);
+}
+
+// ---- tracer unit tests -----------------------------------------------------
+
+TEST(Tracer, DisabledSpanSiteRecordsNothing) {
+  reset_obs();
+  {
+    obs::ScopedSpan span("noop", 0);
+  }
+  obs::tracer().record("direct", 0, 1, 2);
+  EXPECT_EQ(obs::tracer().event_count(), 0u);
+  EXPECT_FALSE(obs::tracer().enabled());
+}
+
+TEST(Tracer, RingOverwritesOldestAndCountsDrops) {
+  reset_obs();
+  obs::tracer().enable("", /*capacity=*/4);
+  static const char* const names[] = {"e0", "e1", "e2", "e3", "e4", "e5"};
+  for (int i = 0; i < 6; ++i) {
+    obs::tracer().record(names[i], 0, i * 10, i * 10 + 5);
+  }
+  EXPECT_EQ(obs::tracer().event_count(), 4u);
+  EXPECT_EQ(obs::tracer().dropped(), 2u);
+  const auto evs = obs::tracer().events();
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_STREQ(evs.front().name, "e2");  // oldest surviving, first out
+  EXPECT_STREQ(evs.back().name, "e5");
+  reset_obs();
+}
+
+TEST(Tracer, DisableMidSpanIsSafe) {
+  reset_obs();
+  obs::tracer().enable("");
+  {
+    obs::ScopedSpan span("interrupted", 0);
+    obs::tracer().disable();
+  }  // dtor records into a disabled tracer: must no-op
+  EXPECT_EQ(obs::tracer().event_count(), 0u);
+}
+
+// ---- end-to-end trace validity --------------------------------------------
+
+TEST(Trace, GpuRunProducesValidNestedJsonPerRankUnderChecker) {
+  reset_obs();
+  // The PGAS discipline checker runs alongside the tracer: the run must
+  // stay violation-free (run_gpu_sim throws otherwise).
+  ::setenv("SIMCOV_PGAS_CHECK", "1", 1);
+  obs::tracer().enable("");
+  ASSERT_NO_THROW(run_gpu_4ranks());
+  const std::string json = obs::tracer().to_json();
+  reset_obs();
+  ::unsetenv("SIMCOV_PGAS_CHECK");
+
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(json).parse());
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+  ASSERT_TRUE(root.obj.contains("traceEvents"));
+  EXPECT_EQ(root.obj.at("otherData").obj.at("dropped_events").number, 0.0);
+
+  const auto& events = root.obj.at("traceEvents").arr;
+  ASSERT_FALSE(events.empty());
+
+  std::map<int, std::string> track_names;
+  std::map<int, std::vector<const JsonValue*>> by_track;
+  for (const JsonValue& e : events) {
+    ASSERT_EQ(e.kind, JsonValue::Kind::kObject);
+    const std::string& ph = e.obj.at("ph").str;
+    const int tid = static_cast<int>(e.obj.at("tid").number);
+    if (ph == "M") {
+      if (e.obj.at("name").str == "thread_name") {
+        track_names[tid] = e.obj.at("args").obj.at("name").str;
+      }
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    EXPECT_EQ(static_cast<int>(e.obj.at("pid").number), 1);
+    EXPECT_FALSE(e.obj.at("name").str.empty());
+    by_track[tid].push_back(&e);
+  }
+
+  // One named track per rank.
+  ASSERT_EQ(by_track.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_TRUE(by_track.contains(r)) << "missing track for rank " << r;
+    ASSERT_TRUE(track_names.contains(r));
+    EXPECT_EQ(track_names.at(r), "rank " + std::to_string(r));
+  }
+
+  // Every step() phase appears as a span on every rank's track, plus the
+  // step envelope and the runtime's barrier spans.
+  const char* const required[] = {"step",   "t_cells",        "epithelial",
+                                  "halo",   "concentrations", "tile_sweep",
+                                  "reduce_stats", "barrier"};
+  for (const auto& [tid, evs] : by_track) {
+    std::map<std::string, int> seen;
+    for (const JsonValue* e : evs) ++seen[e->obj.at("name").str];
+    for (const char* name : required) {
+      EXPECT_GT(seen[name], 0) << "rank " << tid << " lacks span " << name;
+    }
+  }
+
+  // Per-track: timestamps monotonically non-decreasing in file order, and
+  // spans properly nested (a span begun inside another ends inside it).
+  for (const auto& [tid, evs] : by_track) {
+    std::int64_t prev_ts = std::numeric_limits<std::int64_t>::min();
+    std::vector<std::pair<std::int64_t, std::int64_t>> stack;
+    for (const JsonValue* e : evs) {
+      const std::int64_t ts = ns_of(e->obj.at("ts"));
+      const std::int64_t end = ts + ns_of(e->obj.at("dur"));
+      EXPECT_GE(ts, prev_ts) << "track " << tid << " timestamps regress";
+      prev_ts = ts;
+      while (!stack.empty() && stack.back().second <= ts) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(end, stack.back().second)
+            << "track " << tid << " span '" << e->obj.at("name").str
+            << "' half-overlaps its enclosing span";
+      }
+      stack.emplace_back(ts, end);
+    }
+  }
+}
+
+// ---- metrics registry ------------------------------------------------------
+
+TEST(Metrics, DisabledRecordingIsNoOp) {
+  reset_obs();
+  obs::metrics().add("c", 0, 1.0);
+  obs::metrics().set("g", 0, 2.0);
+  obs::metrics().observe("h", 0, 3.0);
+  obs::metrics().step_value("s", 0, 0, 4.0);
+  EXPECT_EQ(obs::metrics().datapoint_count(), 0u);
+  EXPECT_EQ(obs::metrics().counter_value("c", 0), 0.0);
+}
+
+TEST(Metrics, RecordsAndExportsAllKinds) {
+  reset_obs();
+  obs::metrics().enable("");
+  obs::metrics().add("phase.t_cells.wall_ns", 0, 100.0);
+  obs::metrics().add("phase.t_cells.wall_ns", 0, 50.0);
+  obs::metrics().add("phase.t_cells.wall_ns", 1, 60.0);
+  obs::metrics().set("gauge.x", 0, -2.5);
+  obs::metrics().observe("pgas.rpc_batch", 0, 3.0);
+  obs::metrics().observe("pgas.rpc_batch", 0, 7.0);
+  obs::metrics().step_value("gpu.halo_bytes", 1, 0, 1024.0);
+  obs::metrics().step_value("gpu.halo_bytes", 1, 1, 2048.0);
+
+  EXPECT_EQ(obs::metrics().counter_value("phase.t_cells.wall_ns", 0), 150.0);
+  EXPECT_EQ(obs::metrics().datapoint_count(), 8u);
+
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(obs::metrics().to_json()).parse());
+  EXPECT_EQ(root.obj.at("counters")
+                .obj.at("phase.t_cells.wall_ns")
+                .obj.at("1")
+                .number,
+            60.0);
+  EXPECT_EQ(root.obj.at("gauges").obj.at("gauge.x").obj.at("0").number, -2.5);
+  const auto& hist =
+      root.obj.at("histograms").obj.at("pgas.rpc_batch").obj.at("0").obj;
+  EXPECT_EQ(hist.at("count").number, 2.0);
+  EXPECT_EQ(hist.at("sum").number, 10.0);
+  EXPECT_EQ(hist.at("min").number, 3.0);
+  EXPECT_EQ(hist.at("max").number, 7.0);
+  const auto& series =
+      root.obj.at("series").obj.at("gpu.halo_bytes").obj.at("1").arr;
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[1].arr[0].number, 1.0);
+  EXPECT_EQ(series[1].arr[1].number, 2048.0);
+
+  const std::string csv = obs::metrics().to_csv();
+  EXPECT_NE(csv.find("kind,name,rank,step,value"), std::string::npos);
+  EXPECT_NE(csv.find("series,gpu.halo_bytes,1,1,2048"), std::string::npos);
+  reset_obs();
+}
+
+TEST(Metrics, GpuSnapshotDeterministicForFixedSeedAndRanks) {
+  // Two identical runs must export bit-identical values for every metric
+  // that is not a wall-clock measurement.  (Timing metrics — *.wall_ns,
+  // pgas.barrier_wait_ns, pgas.rpc_batch — are structurally present but
+  // their values are machine noise, so they are excluded.)
+  reset_obs();
+  auto capture = [] {
+    obs::metrics().enable("");
+    run_gpu_4ranks();
+    const std::string json = obs::metrics().to_json();
+    obs::metrics().disable();
+    return JsonParser(json).parse();
+  };
+  const JsonValue a = capture();
+  const JsonValue b = capture();
+
+  const char* const deterministic[] = {"gpu.halo_bytes", "gpu.active_tiles",
+                                       "gpu.tile_occupancy",
+                                       "gpu.voxels_touched"};
+  const auto& sa = a.obj.at("series").obj;
+  const auto& sb = b.obj.at("series").obj;
+  for (const char* name : deterministic) {
+    ASSERT_TRUE(sa.contains(name)) << "missing series " << name;
+    ASSERT_TRUE(sb.contains(name));
+    EXPECT_EQ(sa.at(name), sb.at(name)) << "series " << name << " varies";
+    // All four ranks reported the full run.
+    ASSERT_EQ(sa.at(name).obj.size(), 4u);
+    for (const auto& [rank, sv] : sa.at(name).obj) {
+      EXPECT_EQ(sv.arr.size(), 16u) << name << " rank " << rank;
+    }
+  }
+  // Wall-clock series exist (values intentionally not compared).
+  EXPECT_TRUE(sa.contains("pgas.barrier_wait_ns"));
+  EXPECT_TRUE(a.obj.at("counters").obj.contains("step.wall_ns"));
+  EXPECT_TRUE(a.obj.at("counters").obj.contains("phase.halo.wall_ns"));
+  // Tile churn gauges from the active-tile set.
+  EXPECT_TRUE(a.obj.at("gauges").obj.contains("gpu.tile_activations"));
+}
+
+// ---- harness glue ----------------------------------------------------------
+
+TEST(Harness, ConfigureObservabilityRejectsUnwritablePaths) {
+  reset_obs();
+  EXPECT_THROW(harness::configure_observability(
+                   "/nonexistent-simcov-dir/trace.json", ""),
+               Error);
+  EXPECT_THROW(harness::configure_observability(
+                   "", "/nonexistent-simcov-dir/metrics.csv"),
+               Error);
+  // Failed configuration must not leave a collector half-enabled.
+  EXPECT_FALSE(obs::tracer().enabled());
+  EXPECT_FALSE(obs::metrics().enabled());
+}
+
+TEST(Harness, FinishObservabilityIsSafeWhenDisabled) {
+  reset_obs();
+  EXPECT_NO_THROW(harness::finish_observability());
+}
+
+}  // namespace
+}  // namespace simcov

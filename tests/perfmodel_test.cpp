@@ -32,6 +32,23 @@ TEST(CostModel, GpuPricingMonotoneInEachCounter) {
   EXPECT_GT(bump([](WorkSample& s) { s.comm.puts = 4; }), t0);
   EXPECT_GT(bump([](WorkSample& s) { s.comm.put_bytes = 1 << 20; }), t0);
   EXPECT_GT(bump([](WorkSample& s) { s.comm.reductions = 1; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.comm.broadcasts = 1; }), t0);
+  EXPECT_GT(bump([](WorkSample& s) { s.comm.broadcast_bytes = 1 << 20; }), t0);
+}
+
+TEST(CostModel, BroadcastsArePricedOnBothBackends) {
+  // Regression: broadcasts used to be invisible to the perfmodel.
+  WorkSample s;
+  s.comm.broadcasts = 10;
+  s.comm.broadcast_bytes = 1 << 20;
+  EXPECT_GT(CostModel(spec(), Backend::kGpu, 4).price(s), 0.0);
+  EXPECT_GT(CostModel(spec(), Backend::kCpu, 4).price(s), 0.0);
+  // Like the reductions, latency grows with log2 of the world size.
+  WorkSample lat;
+  lat.comm.broadcasts = 100;
+  const CostModel small(spec(), Backend::kGpu, 3);
+  const CostModel big(spec(), Backend::kGpu, 63);
+  EXPECT_NEAR(big.price(lat), 3.0 * small.price(lat), 1e-9);
 }
 
 TEST(CostModel, CpuPricingUsesCpuCounters) {

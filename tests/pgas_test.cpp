@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <numeric>
@@ -107,6 +108,61 @@ TEST(Pgas, AllreduceSumU64RejectsHugeValues) {
   });
 }
 
+TEST(Pgas, BroadcastCopiesRootBytes) {
+  Runtime rt(4);
+  rt.run([&](Rank& r) {
+    std::vector<std::byte> buf(8);
+    if (r.id() == 2) {
+      for (std::size_t i = 0; i < buf.size(); ++i) {
+        buf[i] = static_cast<std::byte>(i + 1);
+      }
+    }
+    r.broadcast(2, buf);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(buf[i]), static_cast<int>(i + 1));
+    }
+    const std::uint64_t v = r.broadcast_value<std::uint64_t>(
+        0, r.id() == 0 ? 0xabcdefULL : 0ULL);
+    EXPECT_EQ(v, 0xabcdefULL);
+  });
+}
+
+TEST(Pgas, BroadcastBadRootRejected) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    std::vector<std::byte> buf(4);
+    EXPECT_THROW(r.broadcast(5, buf), Error);
+    EXPECT_THROW(r.broadcast(-1, buf), Error);
+  });
+}
+
+TEST(Pgas, BroadcastCountsTraffic) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    std::vector<std::byte> buf(16);
+    r.broadcast(0, buf);
+    EXPECT_EQ(r.stats().broadcasts, 1u);
+    EXPECT_EQ(r.stats().broadcast_bytes, 16u);
+  });
+  const CommStats total = rt.total_stats();
+  EXPECT_EQ(total.broadcasts, 2u);
+  EXPECT_EQ(total.broadcast_bytes, 32u);
+}
+
+TEST(Pgas, BarrierWaitIsMeasured) {
+  Runtime rt(2);
+  rt.run([&](Rank& r) {
+    // Rank 1 arrives late, so rank 0 must accumulate wait time.
+    if (r.id() == 1) {
+      const auto until = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(20);
+      while (std::chrono::steady_clock::now() < until) {}
+    }
+    r.barrier();
+  });
+  EXPECT_GE(rt.rank_stats(0).barrier_wait_ns, 1'000'000u);  // >= 1 ms
+}
+
 TEST(Pgas, ChannelsPutAndRead) {
   Runtime rt(2);
   rt.run([&](Rank& r) {
@@ -198,6 +254,27 @@ TEST(Pgas, StatsSinceSnapshot) {
   const CommStats d = a.since(snap);
   EXPECT_EQ(d.puts, 4u);
   EXPECT_EQ(d.put_bytes, 60u);
+}
+
+TEST(Pgas, StatsSinceAndAccumulateCoverBroadcastAndWait) {
+  CommStats a;
+  a.broadcasts = 3;
+  a.broadcast_bytes = 300;
+  a.barrier_wait_ns = 50;
+  CommStats snap = a;
+  a.broadcasts = 5;
+  a.broadcast_bytes = 420;
+  a.barrier_wait_ns = 90;
+  const CommStats d = a.since(snap);
+  EXPECT_EQ(d.broadcasts, 2u);
+  EXPECT_EQ(d.broadcast_bytes, 120u);
+  EXPECT_EQ(d.barrier_wait_ns, 40u);
+  CommStats sum;
+  sum += a;
+  sum += d;
+  EXPECT_EQ(sum.broadcasts, 7u);
+  EXPECT_EQ(sum.broadcast_bytes, 540u);
+  EXPECT_EQ(sum.barrier_wait_ns, 130u);
 }
 
 TEST(Pgas, RunCanBeRepeated) {
