@@ -10,19 +10,17 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "simcov_cpu/cpu_sim.hpp"
-#include "simcov_gpu/gpu_sim.hpp"
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "ablation_decomposition",
       "Ablation: linear vs 2D block decomposition (Fig. 1B design choice)",
       "(not a paper figure; supports the Fig. 1B design discussion)",
       "16 ranks each backend, 256^2 voxels, 16 FOI, 240 steps");
 
-  SimParams params = bench::bench_params(256, 256, 240, 16);
-  const Grid grid(params.dim_x, params.dim_y, params.dim_z);
-  const auto foi = foi_uniform_random(grid, params.num_foi, params.seed);
+  harness::RunSpec spec;
+  spec.params = bench::bench_params(256, 256, 240, 16);
 
   TextTable t({"backend", "decomposition", "modeled time (s)",
                "RPCs", "halo bytes"});
@@ -30,24 +28,22 @@ int main() {
        {Decomposition::Kind::kBlock2D, Decomposition::Kind::kLinear}) {
     const char* kind_name =
         kind == Decomposition::Kind::kLinear ? "linear" : "2D block";
+    spec.decomp = kind;
     {
-      cpu::CpuSimOptions opt;
-      opt.num_ranks = 16;
-      opt.decomp = kind;
-      opt.area_scale = bench::kCpuAreaScale;
-      const auto r = cpu::run_cpu_sim(params, foi, opt);
+      spec.area_scale = bench::kCpuAreaScale;
+      const auto r = rep.run_cpu(std::string("cpu ") + kind_name, spec, 16);
+      const pgas::CommStats comm = r.comm_total();
       t.add_row({"SIMCoV-CPU", kind_name, fmt(r.cost.total_s),
-                 std::to_string(r.total_rpcs),
-                 std::to_string(r.total_put_bytes)});
+                 std::to_string(comm.rpcs_sent),
+                 std::to_string(comm.put_bytes)});
     }
     {
-      gpu::GpuSimOptions opt;
-      opt.num_ranks = 16;
-      opt.decomp = kind;
-      opt.area_scale = bench::kGpuAreaScale;
-      const auto r = gpu::run_gpu_sim(params, foi, opt);
-      t.add_row({"SIMCoV-GPU", kind_name, fmt(r.cost.total_s), "0",
-                 std::to_string(r.total_put_bytes)});
+      spec.area_scale = bench::kGpuAreaScale;
+      const auto r = rep.run_gpu(std::string("gpu ") + kind_name, spec, 16);
+      const pgas::CommStats comm = r.comm_total();
+      t.add_row({"SIMCoV-GPU", kind_name, fmt(r.cost.total_s),
+                 std::to_string(comm.rpcs_sent),
+                 std::to_string(comm.put_bytes)});
     }
     std::fprintf(stderr, "  %s done\n", kind_name);
   }
@@ -55,5 +51,6 @@ int main() {
   std::printf("NOTE: both decompositions compute the identical simulation "
               "(bit-equal; see tests); the difference is pure "
               "communication/boundary geometry.\n");
+  rep.finish();
   return 0;
 }

@@ -17,7 +17,8 @@
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "ablation_tiling",
       "Ablation: tile size and active-check period (design choices of §3.2)",
       "(not a paper figure; supports the §3.2 design discussion)",
       "4 virtual GPUs, 256^2 voxels, 8 FOI, 240 steps, sparse activity");
@@ -36,7 +37,7 @@ int main() {
       harness::RunSpec s = spec;
       s.params.tile_side = tile;
       s.params.tile_check_period = tile;
-      const auto r = harness::run_gpu(s, 4);
+      const auto r = rep.run_gpu("tile " + std::to_string(tile), s, 4);
       t.add_row({std::to_string(tile), fmt(r.modeled_seconds),
                  fmt(r.cost.update_agents_s()),
                  fmt(r.cost.by_phase[static_cast<int>(
@@ -54,7 +55,7 @@ int main() {
       harness::RunSpec s = spec;
       s.params.tile_side = 8;
       s.params.tile_check_period = period;
-      const auto r = harness::run_gpu(s, 4);
+      const auto r = rep.run_gpu("period " + std::to_string(period), s, 4);
       t.add_row({std::to_string(period), fmt(r.modeled_seconds),
                  fmt(r.cost.update_agents_s()),
                  fmt(r.cost.by_phase[static_cast<int>(
@@ -68,5 +69,6 @@ int main() {
               "the benefit of skipping inactive regions' (§3.2) — compare "
               "the sweep column against the unoptimized update times in "
               "fig4_ablation.\n");
+  rep.finish();
   return 0;
 }

@@ -18,11 +18,14 @@
 // machines; absolute totals are smaller because we run ~100x fewer steps.
 
 #include <chrono>
+#include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/experiment.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/table.hpp"
 
@@ -63,6 +66,111 @@ inline void print_shape_check(const std::string& claim, bool holds) {
   std::printf("SHAPE CHECK: %-58s [%s]\n", claim.c_str(),
               holds ? "OK" : "MISS");
 }
+
+/// One object per bench binary: the human-readable output and the
+/// machine-readable BENCH_<name>.json come from the same recorded runs.
+///
+/// Usage: construct with the bench name + header strings, route every
+/// simulation through run_gpu/run_cpu/run_reference (each wraps the harness
+/// call with in-memory metrics so the PhaseClock counters and comm matrix
+/// are harvested into the report), record verdicts via shape_check() and
+/// scalars via metric(), then finish() — which prints the aggregate
+/// measured-vs-modeled drift table to stderr and writes the JSON.
+///
+/// Note: each instrumented run enables the in-memory metrics registry and
+/// disables it afterwards; benches own the process-wide telemetry while
+/// they run (SIMCOV_METRICS is ignored inside a bench binary).
+class Reporter {
+ public:
+  Reporter(std::string name, const std::string& experiment,
+           const std::string& paper_config, const std::string& our_config)
+      : report_(std::move(name)) {
+    report_.set_context(experiment, paper_config, our_config);
+    print_header(experiment, paper_config, our_config);
+  }
+
+  harness::BackendResult run_gpu(
+      const std::string& label, const harness::RunSpec& spec, int ranks,
+      gpu::GpuVariant variant = gpu::GpuVariant::combined()) {
+    return instrumented(label, "gpu", ranks, spec, [&] {
+      return harness::run_gpu(spec, ranks, variant);
+    });
+  }
+
+  harness::BackendResult run_cpu(const std::string& label,
+                                 const harness::RunSpec& spec, int ranks) {
+    return instrumented(label, "cpu", ranks, spec,
+                        [&] { return harness::run_cpu(spec, ranks); });
+  }
+
+  harness::BackendResult run_reference(const std::string& label,
+                                       const harness::RunSpec& spec) {
+    return instrumented(label, "reference", 1, spec,
+                        [&] { return harness::run_reference(spec); });
+  }
+
+  /// Prints the verdict line and records it in the report.
+  void shape_check(const std::string& claim, bool holds) {
+    print_shape_check(claim, holds);
+    report_.add_shape_check(claim, holds);
+  }
+
+  /// Records a free-form scalar (micro-benchmark timings, overhead ratios).
+  void metric(const std::string& name, double value) {
+    report_.add_metric(name, value);
+  }
+
+  obs::BenchReport& report() { return report_; }
+
+  /// Prints the aggregate drift table to stderr and writes the JSON.
+  void finish() {
+    report_.print_drift_summary(stderr);
+    report_.write();
+    std::fprintf(stderr, "bench report written to %s\n",
+                 report_.path().c_str());
+  }
+
+ private:
+  template <typename RunFn>
+  harness::BackendResult instrumented(const std::string& label,
+                                      const char* backend, int ranks,
+                                      const harness::RunSpec& spec,
+                                      RunFn&& run) {
+    // Fresh in-memory collection per configuration so the harvested
+    // counters belong to exactly this run.
+    obs::metrics().enable("");
+    harness::BackendResult r = run();
+    const auto counters = obs::metrics().counters();
+    obs::metrics().disable();
+
+    obs::BenchConfig cfg;
+    cfg.label = label;
+    cfg.backend = backend;
+    cfg.ranks = ranks;
+    cfg.params = {
+        {"dim_x", static_cast<double>(spec.params.dim_x)},
+        {"dim_y", static_cast<double>(spec.params.dim_y)},
+        {"dim_z", static_cast<double>(spec.params.dim_z)},
+        {"num_steps", static_cast<double>(spec.params.num_steps)},
+        {"num_foi", static_cast<double>(spec.params.num_foi)},
+        {"seed", static_cast<double>(spec.params.seed)},
+        {"area_scale", spec.area_scale},
+        {"decomp_linear",
+         spec.decomp == Decomposition::Kind::kLinear ? 1.0 : 0.0},
+    };
+    cfg.measured_wall_s = r.measured_wall_s;
+    cfg.modeled_s = r.modeled_seconds;
+    cfg.measured_by_phase_s = obs::BenchReport::measured_phases_from(counters);
+    cfg.modeled_by_phase_s = obs::BenchReport::modeled_phases_from(r.cost);
+    cfg.drift = obs::BenchReport::drift_from(counters, r.cost);
+    cfg.comm_total = r.comm_total();
+    cfg.comm_matrix = obs::BenchReport::matrix_from(r.comm_by_rank);
+    report_.add_config(std::move(cfg));
+    return r;
+  }
+
+  obs::BenchReport report_;
+};
 
 /// Measured cost of the observability layer when it is *disabled*.  The
 /// contract (src/obs/trace.hpp) is one relaxed atomic load + branch per

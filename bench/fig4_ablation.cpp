@@ -14,7 +14,8 @@
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "fig4_ablation",
       "Figure 4: SIMCoV-GPU optimization breakdown (update vs reduce)",
       "4 V100 (ASU Agave), dense activity (1024 FOI)",
       "4 virtual GPUs, 256^2 voxels, 16 FOI (paper's multi-focal density at 1/39 linear scale), 300 steps");
@@ -31,7 +32,7 @@ int main() {
   for (const auto& v :
        {gpu::GpuVariant::unoptimized(), gpu::GpuVariant::fast_reduction_only(),
         gpu::GpuVariant::memory_tiling_only(), gpu::GpuVariant::combined()}) {
-    rows.push_back({v, harness::run_gpu(spec, 4, v)});
+    rows.push_back({v, rep.run_gpu(v.name(), spec, 4, v)});
     std::fprintf(stderr, "  ran %s\n", v.name().c_str());
   }
 
@@ -48,30 +49,31 @@ int main() {
   const auto& fastred = rows[1].result;
   const auto& tiling = rows[2].result;
   const auto& combined = rows[3].result;
-  bench::print_shape_check(
+  rep.shape_check(
       "reductions dominate the unoptimized version",
       unopt.cost.reduce_stats_s() > unopt.cost.update_agents_s());
-  bench::print_shape_check(
+  rep.shape_check(
       "fast reduction slashes reduce time vs unoptimized",
       fastred.cost.reduce_stats_s() < 0.25 * unopt.cost.reduce_stats_s());
-  bench::print_shape_check(
+  rep.shape_check(
       "memory tiling reduces agent-update time",
       tiling.cost.update_agents_s() < unopt.cost.update_agents_s());
-  bench::print_shape_check(
+  rep.shape_check(
       "memory tiling also improves the reduction (locality)",
       tiling.cost.reduce_stats_s() < unopt.cost.reduce_stats_s());
-  bench::print_shape_check(
+  rep.shape_check(
       "combined is fastest overall",
       combined.modeled_seconds < fastred.modeled_seconds &&
           combined.modeled_seconds < tiling.modeled_seconds);
   // "the optimizations combine very effectively ... mostly independent
   // effects": combined inherits tiling's update time and fast reduction's
   // reduce time simultaneously.
-  bench::print_shape_check(
+  rep.shape_check(
       "effects are independent: combined update ~= tiling update",
       combined.cost.update_agents_s() < 1.2 * tiling.cost.update_agents_s());
-  bench::print_shape_check(
+  rep.shape_check(
       "effects are independent: combined reduce ~= fast-red reduce",
       combined.cost.reduce_stats_s() < 1.2 * fastred.cost.reduce_stats_s());
+  rep.finish();
   return 0;
 }

@@ -25,7 +25,8 @@ struct TrialSet {
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "fig5_correctness",
       "Figure 5 + Table 2: CPU vs GPU correctness (5 trials each)",
       "10,000^2 voxels, 16 FOI, 33,120 steps (~23 days), 128 cores vs 4 A100",
       "128^2 voxels, 16 FOI, 1,200 steps (full infection arc), 8 CPU ranks "
@@ -43,7 +44,7 @@ int main() {
     harness::RunSpec spec;
     spec.params = make_params(s);
     spec.area_scale = bench::kCpuAreaScale;
-    const auto r = harness::run_cpu(spec, 8);
+    const auto r = rep.run_cpu("cpu seed " + std::to_string(s), spec, 8);
     cpu_set.virus.push_back(series_virus(r.history));
     cpu_set.tcells.push_back(series_tcells(r.history));
     cpu_set.apoptotic.push_back(series_apoptotic(r.history));
@@ -54,7 +55,7 @@ int main() {
     harness::RunSpec spec;
     spec.params = make_params(s);
     spec.area_scale = bench::kGpuAreaScale;
-    const auto r = harness::run_gpu(spec, 4);
+    const auto r = rep.run_gpu("gpu seed " + std::to_string(s), spec, 4);
     gpu_set.virus.push_back(series_virus(r.history));
     gpu_set.tcells.push_back(series_tcells(r.history));
     gpu_set.apoptotic.push_back(series_apoptotic(r.history));
@@ -110,9 +111,10 @@ int main() {
   }
   std::printf("(Table 2)\n%s\n", t.to_string().c_str());
 
-  bench::print_shape_check(
+  rep.shape_check(
       "peak statistics agree across backends (paper: >99%; ours: >95% with "
       "5 trials at 1/6000 the voxel count)",
       all_agree);
+  rep.finish();
   return 0;
 }

@@ -13,7 +13,8 @@
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "fig6_strong_scaling",
       "Figure 6: strong scaling (fixed problem, resources double)",
       "10,000^2 voxels, 16 FOI, 33,120 steps, {4,128}..{64,2048}",
       "256^2 voxels, 16 FOI, 300 steps, GPU ranks = paper GPUs, CPU ranks = "
@@ -32,9 +33,10 @@ int main() {
     const int gpus = 4 << i;
     const int paper_cpus = 128 << i;
     spec.area_scale = bench::kGpuAreaScale;
-    const auto g = harness::run_gpu(spec, gpus);
+    const auto g = rep.run_gpu("gpu " + std::to_string(gpus), spec, gpus);
     spec.area_scale = bench::kCpuAreaScale;
-    const auto c = harness::run_cpu(spec, bench::cpu_ranks_for(paper_cpus));
+    const auto c = rep.run_cpu("cpu " + std::to_string(paper_cpus), spec,
+                              bench::cpu_ranks_for(paper_cpus));
     gpu_t.push_back(g.modeled_seconds);
     cpu_t.push_back(c.modeled_seconds);
     t.add_row({fmt_resources(gpus, paper_cpus), fmt(c.modeled_seconds),
@@ -45,19 +47,20 @@ int main() {
   }
   std::printf("%s\n", t.to_string().c_str());
 
-  bench::print_shape_check("GPU beats CPU at the base configuration",
+  rep.shape_check("GPU beats CPU at the base configuration",
                            gpu_t[0] < cpu_t[0]);
-  bench::print_shape_check(
+  rep.shape_check(
       "speedup decays monotonically as resources grow",
       cpu_t[0] / gpu_t[0] > cpu_t[2] / gpu_t[2] &&
           cpu_t[2] / gpu_t[2] > cpu_t[4] / gpu_t[4]);
-  bench::print_shape_check(
+  rep.shape_check(
       "GPU saturates: last doubling gains < 30% (paper: curve flattens)",
       gpu_t[4] > 0.7 * gpu_t[3]);
-  bench::print_shape_check(
+  rep.shape_check(
       "CPU keeps scaling: last doubling gains > 30%",
       cpu_t[4] < 0.7 * cpu_t[3]);
-  bench::print_shape_check("speedup drops below ~1x at {64,2048} (paper 0.85)",
+  rep.shape_check("speedup drops below ~1x at {64,2048} (paper 0.85)",
                            cpu_t[4] / gpu_t[4] < 1.3);
+  rep.finish();
   return 0;
 }

@@ -12,7 +12,8 @@
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "fig7_weak_scaling",
       "Figure 7: weak scaling (problem size doubles with resources)",
       "10,000^2 -> 40,000^2 voxels, FOI 16 -> 256, {4,128}..{64,2048}",
       "256^2 -> 1024^2 voxels, FOI 16 -> 256, 240 steps, same rank mapping "
@@ -32,9 +33,10 @@ int main() {
     harness::RunSpec spec;
     spec.params = bench::bench_params(dims_x[i], dims_y[i], 240, foi);
     spec.area_scale = bench::kGpuAreaScale;
-    const auto g = harness::run_gpu(spec, gpus);
+    const auto g = rep.run_gpu("gpu " + std::to_string(gpus), spec, gpus);
     spec.area_scale = bench::kCpuAreaScale;
-    const auto c = harness::run_cpu(spec, bench::cpu_ranks_for(paper_cpus));
+    const auto c = rep.run_cpu("cpu " + std::to_string(paper_cpus), spec,
+                              bench::cpu_ranks_for(paper_cpus));
     gpu_t.push_back(g.modeled_seconds);
     cpu_t.push_back(c.modeled_seconds);
     t.add_row({fmt_resources(gpus, paper_cpus),
@@ -51,19 +53,20 @@ int main() {
   for (int i = 0; i < 5; ++i) {
     gpu_wins_everywhere = gpu_wins_everywhere && gpu_t[i] < cpu_t[i];
   }
-  bench::print_shape_check("GPU outperforms CPU at every configuration",
+  rep.shape_check("GPU outperforms CPU at every configuration",
                            gpu_wins_everywhere);
-  bench::print_shape_check(
+  rep.shape_check(
       "initial cost of parallelism: GPU runtime rises base -> mid",
       gpu_t[2] > gpu_t[0]);
-  bench::print_shape_check(
+  rep.shape_check(
       "GPU runtime near-constant once paid (last two within 25%)",
       gpu_t[4] < 1.25 * gpu_t[3] && gpu_t[3] < 1.25 * gpu_t[4]);
-  bench::print_shape_check(
+  rep.shape_check(
       "CPU gradually degrades (last point slower than first)",
       cpu_t[4] > cpu_t[0]);
-  bench::print_shape_check(
+  rep.shape_check(
       "speedup stays in the ~3-5x band throughout (paper 3.5-4.9)",
       cpu_t[4] / gpu_t[4] > 2.0 && cpu_t[0] / gpu_t[0] < 7.0);
+  rep.finish();
   return 0;
 }

@@ -14,7 +14,8 @@
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "fig8_foi_scaling",
       "Figure 8: FOI scaling (activity density) at fixed resources",
       "20,000^2 voxels, {16,512}, FOI 64..1024 (no CPU trial at 1024)",
       "512^2 voxels, {16 GPU ranks, 32 CPU ranks}, 300 steps, FOI 64..1024");
@@ -39,9 +40,10 @@ int main() {
     spec.params.min_chem = 1e-4;
     spec.params.min_virus = 1e-4;
     spec.area_scale = bench::kGpuAreaScale;
-    const auto g = harness::run_gpu(spec, 16);
+    const auto g = rep.run_gpu("gpu foi " + std::to_string(foi), spec, 16);
     spec.area_scale = bench::kCpuAreaScale;
-    const auto c = harness::run_cpu(spec, bench::cpu_ranks_for(512));
+    const auto c = rep.run_cpu("cpu foi " + std::to_string(foi), spec,
+                              bench::cpu_ranks_for(512));
     gpu_t.push_back(g.modeled_seconds);
     cpu_t.push_back(c.modeled_seconds);
     t.add_row({std::to_string(foi), fmt(c.modeled_seconds),
@@ -54,13 +56,13 @@ int main() {
   std::printf("  *the paper reports no CPU measurement at 1024 FOI.\n\n");
 
   const std::size_t n = gpu_t.size();
-  bench::print_shape_check(
+  rep.shape_check(
       "GPU runtime grows sublinearly in FOI (16x FOI -> < 4x time)",
       gpu_t[n - 1] < 4.0 * gpu_t[0]);
-  bench::print_shape_check(
+  rep.shape_check(
       "CPU runtime grows much faster than GPU's",
       cpu_t[n - 1] / cpu_t[0] > 2.0 * (gpu_t[n - 1] / gpu_t[0]));
-  bench::print_shape_check(
+  rep.shape_check(
       "speedup climbs monotonically with FOI",
       cpu_t[1] / gpu_t[1] > cpu_t[0] / gpu_t[0] &&
           cpu_t[3] / gpu_t[3] > cpu_t[1] / gpu_t[1]);
@@ -68,8 +70,9 @@ int main() {
   // (the CPU baseline's load imbalance is measured at 32-way rather than
   // 512-way granularity, see EXPERIMENTS.md), but the multiplicative climb
   // matches: ~3.4x from the first to the last measured point.
-  bench::print_shape_check(
+  rep.shape_check(
       "speedup multiplies ~3x+ from lowest to highest FOI (paper 3.4x)",
       cpu_t[n - 1] / gpu_t[n - 1] > 3.0 * (cpu_t[0] / gpu_t[0]));
+  rep.finish();
   return 0;
 }

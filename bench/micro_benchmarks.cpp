@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/grid.hpp"
 #include "core/rules.hpp"
 #include "gpusim/gpusim.hpp"
@@ -149,6 +150,58 @@ void BM_PgasAllreduce(benchmark::State& state) {
 }
 BENCHMARK(BM_PgasAllreduce)->Arg(2)->Arg(4)->Arg(8);
 
+/// Forwards console output unchanged while recording each benchmark's
+/// per-iteration real time (normalized to ns) into the BENCH_*.json report.
+class RecordingReporter : public benchmark::BenchmarkReporter {
+ public:
+  RecordingReporter(benchmark::BenchmarkReporter& inner, bench::Reporter& rep)
+      : inner_(inner), rep_(rep) {}
+
+  bool ReportContext(const Context& context) override {
+    return inner_.ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double to_ns =
+          1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+      rep_.metric(run.benchmark_name() + ".real_ns",
+                  run.GetAdjustedRealTime() * to_ns);
+    }
+    inner_.ReportRuns(runs);
+  }
+
+  void Finalize() override { inner_.Finalize(); }
+
+ private:
+  benchmark::BenchmarkReporter& inner_;
+  bench::Reporter& rep_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  bench::Reporter rep(
+      "micro_benchmarks", "Micro-benchmarks (host wall time, not modeled)",
+      "n/a (design-choice microbenches, not a paper figure)",
+      "google-benchmark over RNG / layout / stencil / reduction / PGAS");
+  {
+    benchmark::ConsoleReporter console;
+    RecordingReporter recorder(console, rep);
+    benchmark::RunSpecifiedBenchmarks(&recorder);
+  }
+
+  // One instrumented end-to-end run so this report — like every bench's —
+  // also carries measured + modeled seconds, drift and a comm matrix.
+  harness::RunSpec spec;
+  spec.params = bench::bench_params(96, 96, 30, 2);
+  spec.area_scale = bench::kGpuAreaScale;
+  rep.run_gpu("instrumented gpu 4 ranks 96^2 x30", spec, 4);
+  rep.finish();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,7 +15,7 @@ int main() {
   using namespace simcov;
   using namespace simcov::bench;
 
-  print_header("Observability overhead (collectors disabled)",
+  Reporter rep("obs_overhead", "Observability overhead (collectors disabled)",
                "n/a (engineering gate, not a paper figure)",
                "gpu engine, 4 ranks, 96x96, 30 steps");
 
@@ -30,7 +30,17 @@ int main() {
   t.add_row({"disabled overhead", fmt(r.overhead() * 100.0, 4) + "%"});
   std::printf("%s", t.to_string().c_str());
 
-  print_shape_check("disabled-observability overhead <= 2% of step time",
-                    r.overhead() <= 0.02);
+  rep.shape_check("disabled-observability overhead <= 2% of step time",
+                  r.overhead() <= 0.02);
+  rep.metric("ns_per_site", r.ns_per_site);
+  rep.metric("sites_per_step", r.sites_per_step);
+  rep.metric("step_ns", r.step_ns);
+  rep.metric("disabled_overhead", r.overhead());
+
+  // One instrumented run of the same spec so this report also carries
+  // measured/modeled drift and the comm matrix.
+  spec.area_scale = kGpuAreaScale;
+  rep.run_gpu("instrumented gpu 4 ranks 96^2 x30", spec, 4);
+  rep.finish();
   return 0;
 }

@@ -18,7 +18,8 @@
 
 int main() {
   using namespace simcov;
-  bench::print_header(
+  bench::Reporter rep(
+      "projection_full_lung",
       "Projection: full-lung (10^13 voxels) runtime vs GPU count (§6)",
       "discussion estimate only ('will require exascale supercomputers')",
       "per-voxel-step costs measured on a 256^2 run at paper per-rank load, "
@@ -28,9 +29,9 @@ int main() {
   harness::RunSpec spec;
   spec.params = bench::bench_params(256, 256, 300, 64);  // dense activity
   spec.area_scale = bench::kGpuAreaScale;
-  const auto g = harness::run_gpu(spec, 4);
+  const auto g = rep.run_gpu("gpu 4 ranks dense", spec, 4);
   spec.area_scale = bench::kCpuAreaScale;
-  const auto c = harness::run_cpu(spec, bench::cpu_ranks_for(128));
+  const auto c = rep.run_cpu("cpu 8 ranks dense", spec, bench::cpu_ranks_for(128));
 
   // Modeled voxel-steps at paper scale for the measured runs.
   const double voxel_steps_gpu = 256.0 * 256.0 * bench::kGpuAreaScale * 300.0;
@@ -67,5 +68,8 @@ int main() {
       "paper's closing argument survives quantification: only a GPU-dense\n"
       "exascale machine brings a simulated day of a full lung into\n"
       "practical turnaround.\n");
+  rep.metric("s_per_voxelstep_per_gpu", s_per_voxelstep_per_gpu);
+  rep.metric("s_per_voxelstep_per_core", s_per_voxelstep_per_core);
+  rep.finish();
   return 0;
 }

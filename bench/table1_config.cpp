@@ -9,8 +9,8 @@
 
 int main() {
   using namespace simcov;
-  bench::print_header(
-      "Table 1: evaluation configurations",
+  bench::Reporter rep(
+      "table1_config", "Table 1: evaluation configurations",
       "Perlmutter/Sol, 10,000^2..40,000^2 voxels, 33,120 steps",
       "virtual GPUs + rank-per-thread PGAS, 256^2..1024^2 voxels, 240-1200 "
       "steps, per-rank load matched via area_scale");
@@ -48,5 +48,16 @@ int main() {
   std::printf("area_scale: GPU %.0f (per-GPU load = paper per-A100 load), "
               "CPU %.1f (per-rank load = paper per-core load)\n",
               bench::kGpuAreaScale, bench::kCpuAreaScale);
+  rep.metric("gpu_area_scale", bench::kGpuAreaScale);
+  rep.metric("cpu_area_scale", bench::kCpuAreaScale);
+  rep.metric("cpu_rank_compression", bench::kCpuRankCompression);
+
+  // A small instrumented smoke run so this report — like every bench's —
+  // carries measured + modeled seconds, per-phase drift and a comm matrix.
+  harness::RunSpec spec;
+  spec.params = bench::bench_params(96, 96, 30, 2);
+  spec.area_scale = bench::kGpuAreaScale;
+  rep.run_gpu("smoke gpu 4 ranks 96^2 x30", spec, 4);
+  rep.finish();
   return 0;
 }

@@ -19,10 +19,29 @@ std::vector<VoxelId> RunSpec::resolve_foi() const {
   return foi_uniform_random(grid, params.num_foi, params.seed);
 }
 
+pgas::CommStats BackendResult::comm_total() const {
+  pgas::CommStats total;
+  for (const auto& s : comm_by_rank) total += s;
+  return total;
+}
+
+namespace {
+
+/// Seconds elapsed on the host steady clock since `t0` — the measured side
+/// of the drift report (the modeled side comes from the cost model).
+double wall_since(obs::Nanos t0) {
+  return static_cast<double>(obs::now_ns() - t0) / 1e9;
+}
+
+}  // namespace
+
 BackendResult run_reference(const RunSpec& spec) {
-  ReferenceSim sim(spec.params, spec.resolve_foi());
+  const std::vector<VoxelId> foi = spec.resolve_foi();
+  const obs::Nanos t0 = obs::now_ns();
+  ReferenceSim sim(spec.params, foi);
   sim.run(spec.params.num_steps);
   BackendResult out;
+  out.measured_wall_s = wall_since(t0);
   out.history = sim.history();
   return out;
 }
@@ -30,12 +49,17 @@ BackendResult run_reference(const RunSpec& spec) {
 BackendResult run_cpu(const RunSpec& spec, int cpu_ranks) {
   cpu::CpuSimOptions opt;
   opt.num_ranks = cpu_ranks;
+  opt.decomp = spec.decomp;
   opt.area_scale = spec.area_scale;
-  cpu::CpuRunResult r = cpu::run_cpu_sim(spec.params, spec.resolve_foi(), opt);
+  const std::vector<VoxelId> foi = spec.resolve_foi();
+  const obs::Nanos t0 = obs::now_ns();
+  cpu::CpuRunResult r = cpu::run_cpu_sim(spec.params, foi, opt);
   BackendResult out;
+  out.measured_wall_s = wall_since(t0);
   out.history = std::move(r.history);
   out.cost = r.cost;
   out.modeled_seconds = r.cost.total_s;
+  out.comm_by_rank = std::move(r.comm_by_rank);
   return out;
 }
 
@@ -43,13 +67,18 @@ BackendResult run_gpu(const RunSpec& spec, int gpu_ranks,
                       gpu::GpuVariant variant) {
   gpu::GpuSimOptions opt;
   opt.num_ranks = gpu_ranks;
+  opt.decomp = spec.decomp;
   opt.variant = variant;
   opt.area_scale = spec.area_scale;
-  gpu::GpuRunResult r = gpu::run_gpu_sim(spec.params, spec.resolve_foi(), opt);
+  const std::vector<VoxelId> foi = spec.resolve_foi();
+  const obs::Nanos t0 = obs::now_ns();
+  gpu::GpuRunResult r = gpu::run_gpu_sim(spec.params, foi, opt);
   BackendResult out;
+  out.measured_wall_s = wall_since(t0);
   out.history = std::move(r.history);
   out.cost = r.cost;
   out.modeled_seconds = r.cost.total_s;
+  out.comm_by_rank = std::move(r.comm_by_rank);
   return out;
 }
 
@@ -108,10 +137,16 @@ void print_phase_breakdown(std::FILE* out) {
 }  // namespace
 
 void configure_observability(const std::string& trace_path,
-                             const std::string& metrics_path) {
+                             const std::string& metrics_path,
+                             std::size_t trace_ring) {
   if (!trace_path.empty()) {
     require_writable(trace_path, "trace");
-    obs::tracer().enable(trace_path);
+    obs::tracer().enable(trace_path, trace_ring);
+  } else if (trace_ring > 0 && obs::tracer().enabled()) {
+    // --trace-ring with SIMCOV_TRACE: re-enable in place with the requested
+    // capacity (drops any spans recorded before the run starts, which is
+    // the same reset enable() always performs).
+    obs::tracer().enable(obs::tracer().path(), trace_ring);
   }
   if (!metrics_path.empty()) {
     require_writable(metrics_path, "metrics");

@@ -8,13 +8,16 @@
 // resources and return both the scientific output (time series) and the
 // modeled runtime from the performance model.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/decomposition.hpp"
 #include "core/foi.hpp"
 #include "core/params.hpp"
 #include "core/stats.hpp"
+#include "pgas/comm_stats.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "simcov_cpu/cpu_sim.hpp"
 #include "simcov_gpu/gpu_sim.hpp"
@@ -28,6 +31,9 @@ struct RunSpec {
   std::vector<VoxelId> foi;
   /// Modeled-time extrapolation factor: paper-scale voxels / our voxels.
   double area_scale = 1.0;
+  /// Sub-domain shape (paper Fig. 1B); the decomposition ablation bench
+  /// flips this to compare halo traffic.
+  Decomposition::Kind decomp = Decomposition::Kind::kBlock2D;
 
   std::vector<VoxelId> resolve_foi() const;
 };
@@ -36,6 +42,17 @@ struct BackendResult {
   TimeSeries history;
   perfmodel::RunCost cost;
   double modeled_seconds = 0.0;  ///< == cost.total_s
+  /// Host wall-clock seconds of the simulation call itself (excludes FOI
+  /// resolution and report building) — the *measured* side of the
+  /// measured-vs-modeled drift report.  Zero only if a backend forgets to
+  /// time itself.
+  double measured_wall_s = 0.0;
+  /// Per-rank communication counters from the run, including the
+  /// per-destination comm matrix (empty for the serial reference).
+  std::vector<pgas::CommStats> comm_by_rank;
+
+  /// Sum of comm_by_rank (all ranks' counters + merged comm matrix).
+  pgas::CommStats comm_total() const;
 };
 
 /// Serial reference run (no cost model; correctness baseline).
@@ -58,9 +75,13 @@ double speedup(const BackendResult& cpu, const BackendResult& gpu);
 /// given output paths; an empty path leaves the corresponding collector as
 /// configured by the environment (SIMCOV_TRACE / SIMCOV_METRICS).  Paths are
 /// validated up front — an unwritable path throws simcov::Error immediately
-/// rather than after the simulation has run.
+/// rather than after the simulation has run.  `trace_ring` > 0 overrides the
+/// tracer's ring capacity (--trace-ring=N); 0 defers to SIMCOV_TRACE_RING or
+/// the built-in default.  A ring override with no trace path re-sizes an
+/// environment-enabled tracer in place.
 void configure_observability(const std::string& trace_path,
-                             const std::string& metrics_path);
+                             const std::string& metrics_path,
+                             std::size_t trace_ring = 0);
 
 /// Flushes the trace and metrics to their configured paths and, when metrics
 /// were collected, prints the measured per-phase wall-clock breakdown table

@@ -1,0 +1,59 @@
+#pragma once
+// Tiny JSON emission helpers shared by the metrics exporter and the bench
+// report writer.  Not a JSON library: just the two primitives both exporters
+// need to produce deterministic, round-trippable output by hand.
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace simcov::obs {
+
+/// Shortest decimal representation that round-trips a double (counters hold
+/// exact integer counts well inside 2^53, so these print as integers).
+inline std::string json_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0.0;
+  for (int prec = 1; prec <= 16; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    std::sscanf(shorter, "%lf", &back);
+    if (back == v) return shorter;
+  }
+  return buf;
+}
+
+inline void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+/// json_escape into a fresh string (convenience for string building).
+inline std::string json_escaped(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace simcov::obs

@@ -1,45 +1,22 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "obs/json.hpp"
 #include "util/error.hpp"
 
 namespace simcov::obs {
 
 namespace {
 
-/// Shortest representation that round-trips a double (counters hold exact
-/// integer counts well inside 2^53, so these print as integers).
-std::string num(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  double back = 0.0;
-  for (int prec = 1; prec <= 16; ++prec) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
-    std::sscanf(shorter, "%lf", &back);
-    if (back == v) return shorter;
-  }
-  return buf;
-}
-
-void json_escape(std::ostream& os, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      os << '\\' << c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
-      os << buf;
-    } else {
-      os << c;
-    }
-  }
-}
+/// Shortest representation that round-trips a double (shared with the bench
+/// report writer via obs/json.hpp).
+std::string num(double v) { return json_num(v); }
 
 template <typename PerRank, typename EmitValue>
 void json_group(std::ostream& os, const char* key,
@@ -68,6 +45,33 @@ void json_group(std::ostream& os, const char* key,
 }
 
 }  // namespace
+
+int HistSummary::bucket_of(double value) {
+  if (!(value > 0.0) || !std::isfinite(value)) return kUnderflowBucket;
+  return std::ilogb(value);
+}
+
+double HistSummary::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based; ceil without floating error
+  // for the q*count products we use (0.5/0.95/0.99 of 64-bit counts).
+  auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  if (target > count) target = count;
+  std::uint64_t cum = 0;
+  for (const auto& [idx, n] : buckets) {
+    cum += n;
+    if (cum >= target) {
+      if (idx == kUnderflowBucket) return min;
+      // Upper edge of bucket [2^idx, 2^(idx+1)), clamped so the estimate
+      // never leaves the observed range.
+      return std::clamp(std::ldexp(1.0, idx + 1), min, max);
+    }
+  }
+  return max;  // unreachable for consistent counts; safe fallback
+}
 
 MetricsRegistry::MetricsRegistry() {
   const char* e = std::getenv("SIMCOV_METRICS");  // NOLINT(concurrency-mt-unsafe)
@@ -131,6 +135,7 @@ void MetricsRegistry::observe(const std::string& name, int rank,
   }
   ++h.count;
   h.sum += value;
+  ++h.buckets[HistSummary::bucket_of(value)];
   ++datapoints_;
 }
 
@@ -175,7 +180,16 @@ std::string MetricsRegistry::to_json() const {
              [](std::ostream& o, const HistSummary& h) {
                o << "{\"count\":" << h.count << ",\"sum\":" << num(h.sum)
                  << ",\"min\":" << num(h.min) << ",\"max\":" << num(h.max)
-                 << "}";
+                 << ",\"p50\":" << num(h.quantile(0.50))
+                 << ",\"p95\":" << num(h.quantile(0.95))
+                 << ",\"p99\":" << num(h.quantile(0.99)) << ",\"buckets\":{";
+               bool f = true;
+               for (const auto& [idx, n] : h.buckets) {
+                 if (!f) o << ",";
+                 f = false;
+                 o << "\"" << idx << "\":" << n;
+               }
+               o << "}}";
              },
              first);
   json_group(os, "series", series_,
@@ -219,6 +233,12 @@ std::string MetricsRegistry::to_csv() const {
          << "\n";
       os << "histogram_max," << name << "," << rank << ",," << num(h.max)
          << "\n";
+      os << "histogram_p50," << name << "," << rank << ",,"
+         << num(h.quantile(0.50)) << "\n";
+      os << "histogram_p95," << name << "," << rank << ",,"
+         << num(h.quantile(0.95)) << "\n";
+      os << "histogram_p99," << name << "," << rank << ",,"
+         << num(h.quantile(0.99)) << "\n";
     }
   }
   for (const auto& [name, ranks] : series_) {

@@ -29,13 +29,31 @@
 
 namespace simcov::obs {
 
-/// Histogram summary: count / sum / min / max (quantile-free on purpose;
-/// the full distributions belong in the trace, not the snapshot).
+/// Histogram summary: count / sum / min / max plus fixed log-spaced (base-2)
+/// buckets, from which deterministic p50/p95/p99 estimates are exported.
+/// Bucket index for a positive value v is floor(log2(v)) via std::ilogb —
+/// pure bit inspection, no libm rounding variance — so for a fixed input
+/// sequence the buckets (and therefore the quantiles and the JSON) are
+/// bit-identical across runs.  Non-positive values land in a sentinel
+/// underflow bucket.
 struct HistSummary {
+  /// Bucket index for values <= 0 (log-spaced buckets only cover v > 0).
+  static constexpr int kUnderflowBucket = -10000;
+
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
+  /// base-2 log bucket index -> observation count.
+  std::map<int, std::uint64_t> buckets;
+
+  static int bucket_of(double value);
+
+  /// Deterministic quantile estimate (q in [0,1]): the upper bound 2^(i+1)
+  /// of the bucket holding the ceil(q*count)-th smallest observation,
+  /// clamped to [min, max].  Exact for the extremes, within one bucket
+  /// (a factor of 2) elsewhere.
+  double quantile(double q) const;
 };
 
 class MetricsRegistry {

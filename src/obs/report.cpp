@@ -1,0 +1,307 @@
+#include "obs/report.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace simcov::obs {
+
+namespace {
+
+constexpr const char* kSchema = "simcov-bench/1";
+
+void emit_kv(std::ostream& os, const char* key, const std::string& value,
+             bool comma = true) {
+  os << "\"" << key << "\":\"";
+  json_escape(os, value);
+  os << "\"";
+  if (comma) os << ",";
+}
+
+void emit_num_map(std::ostream& os, const char* key,
+                  const std::map<std::string, double>& m) {
+  os << "\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"";
+    json_escape(os, k);
+    os << "\":" << json_num(v);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+MachineFingerprint MachineFingerprint::current() {
+  MachineFingerprint f;
+  char host[256] = {};
+  if (gethostname(host, sizeof host - 1) == 0) f.host = host;
+  f.compiler = __VERSION__;
+#ifdef NDEBUG
+  f.build = "release";
+#else
+  f.build = "debug";
+#endif
+  f.hardware_threads = std::thread::hardware_concurrency();
+  return f;
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), machine_(MachineFingerprint::current()) {
+  SIMCOV_REQUIRE(!name_.empty(), "bench report needs a name");
+}
+
+void BenchReport::set_context(std::string experiment, std::string paper_config,
+                              std::string our_config) {
+  experiment_ = std::move(experiment);
+  paper_config_ = std::move(paper_config);
+  our_config_ = std::move(our_config);
+}
+
+BenchConfig& BenchReport::add_config(BenchConfig cfg) {
+  configs_.push_back(std::move(cfg));
+  return configs_.back();
+}
+
+void BenchReport::add_shape_check(const std::string& claim, bool ok) {
+  shape_checks_.push_back({claim, ok});
+}
+
+void BenchReport::add_metric(const std::string& name, double value) {
+  metrics_[name] = value;
+}
+
+std::vector<DriftRow> BenchReport::drift_from(
+    const std::map<std::string, std::map<int, double>>& counters,
+    const perfmodel::RunCost& cost) {
+  // Per-phase measured seconds: the PhaseClock counters are wall ns per
+  // (phase, rank); summing over ranks weights each phase by total rank-time,
+  // matching the bulk-synchronous cost fold's sum-over-phases structure.
+  std::array<double, perfmodel::kNumPhases> measured{};
+  double measured_total = 0.0;
+  double modeled_total = 0.0;
+  for (int p = 0; p < perfmodel::kNumPhases; ++p) {
+    const char* name = perfmodel::phase_name(static_cast<perfmodel::Phase>(p));
+    const auto it = counters.find(std::string("phase.") + name + ".wall_ns");
+    if (it != counters.end()) {
+      for (const auto& [rank, v] : it->second) {
+        measured[static_cast<std::size_t>(p)] += v / 1e9;
+      }
+    }
+    measured_total += measured[static_cast<std::size_t>(p)];
+    modeled_total += cost.by_phase[static_cast<std::size_t>(p)];
+  }
+  std::vector<DriftRow> rows;
+  for (int p = 0; p < perfmodel::kNumPhases; ++p) {
+    const double m = measured[static_cast<std::size_t>(p)];
+    const double c = cost.by_phase[static_cast<std::size_t>(p)];
+    if (m == 0.0 && c == 0.0) continue;
+    DriftRow row;
+    row.phase = perfmodel::phase_name(static_cast<perfmodel::Phase>(p));
+    row.measured_s = m;
+    row.measured_share = measured_total > 0.0 ? m / measured_total : 0.0;
+    row.modeled_s = c;
+    row.modeled_share = modeled_total > 0.0 ? c / modeled_total : 0.0;
+    row.divergence = row.measured_share - row.modeled_share;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::map<std::string, double> BenchReport::measured_phases_from(
+    const std::map<std::string, std::map<int, double>>& counters) {
+  std::map<std::string, double> out;
+  for (int p = 0; p < perfmodel::kNumPhases; ++p) {
+    const char* name = perfmodel::phase_name(static_cast<perfmodel::Phase>(p));
+    const auto it = counters.find(std::string("phase.") + name + ".wall_ns");
+    if (it == counters.end()) continue;
+    double s = 0.0;
+    for (const auto& [rank, v] : it->second) s += v / 1e9;
+    if (s > 0.0) out[name] = s;
+  }
+  return out;
+}
+
+std::map<std::string, double> BenchReport::modeled_phases_from(
+    const perfmodel::RunCost& cost) {
+  std::map<std::string, double> out;
+  for (int p = 0; p < perfmodel::kNumPhases; ++p) {
+    const double s = cost.by_phase[static_cast<std::size_t>(p)];
+    if (s > 0.0) {
+      out[perfmodel::phase_name(static_cast<perfmodel::Phase>(p))] = s;
+    }
+  }
+  return out;
+}
+
+std::vector<CommEdge> BenchReport::matrix_from(
+    const std::vector<pgas::CommStats>& by_rank) {
+  std::vector<CommEdge> edges;
+  for (std::size_t src = 0; src < by_rank.size(); ++src) {
+    for (const auto& [dst, p] : by_rank[src].peers) {
+      if (p.zero()) continue;
+      edges.push_back({static_cast<int>(src), dst, p});
+    }
+  }
+  // by_rank is rank-ordered and peers is a sorted map, so edges are already
+  // sorted by (src,dst) — the deterministic order the JSON relies on.
+  return edges;
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  emit_kv(os, "schema", kSchema);
+  os << "\n";
+  emit_kv(os, "bench", name_);
+  os << "\n";
+  emit_kv(os, "experiment", experiment_);
+  os << "\n";
+  emit_kv(os, "paper_config", paper_config_);
+  os << "\n";
+  emit_kv(os, "our_config", our_config_);
+  os << "\n\"machine\":{";
+  emit_kv(os, "host", machine_.host);
+  emit_kv(os, "compiler", machine_.compiler);
+  emit_kv(os, "build", machine_.build, /*comma=*/false);
+  os << ",\"hardware_threads\":" << machine_.hardware_threads << "},\n";
+  os << "\"configs\":[";
+  bool first_cfg = true;
+  for (const BenchConfig& c : configs_) {
+    if (!first_cfg) os << ",";
+    first_cfg = false;
+    os << "\n {";
+    emit_kv(os, "label", c.label);
+    emit_kv(os, "backend", c.backend, /*comma=*/false);
+    os << ",\"ranks\":" << c.ranks << ",\n  ";
+    emit_num_map(os, "params", c.params);
+    os << ",\n  \"measured_wall_s\":" << json_num(c.measured_wall_s)
+       << ",\"modeled_s\":" << json_num(c.modeled_s) << ",\n  ";
+    emit_num_map(os, "measured_by_phase_s", c.measured_by_phase_s);
+    os << ",\n  ";
+    emit_num_map(os, "modeled_by_phase_s", c.modeled_by_phase_s);
+    os << ",\n  \"drift\":[";
+    bool first_row = true;
+    for (const DriftRow& d : c.drift) {
+      if (!first_row) os << ",";
+      first_row = false;
+      os << "\n   {";
+      emit_kv(os, "phase", d.phase, /*comma=*/false);
+      os << ",\"measured_s\":" << json_num(d.measured_s)
+         << ",\"measured_share\":" << json_num(d.measured_share)
+         << ",\"modeled_s\":" << json_num(d.modeled_s)
+         << ",\"modeled_share\":" << json_num(d.modeled_share)
+         << ",\"divergence\":" << json_num(d.divergence) << "}";
+    }
+    os << "],\n  \"comm\":{";
+    const pgas::CommStats& t = c.comm_total;
+    os << "\"rpcs_sent\":" << t.rpcs_sent << ",\"rpc_bytes\":" << t.rpc_bytes
+       << ",\"puts\":" << t.puts << ",\"put_bytes\":" << t.put_bytes
+       << ",\"barriers\":" << t.barriers << ",\"reductions\":" << t.reductions
+       << ",\"reduction_bytes\":" << t.reduction_bytes
+       << ",\"broadcasts\":" << t.broadcasts
+       << ",\"broadcast_bytes\":" << t.broadcast_bytes
+       << ",\"barrier_wait_ns\":" << t.barrier_wait_ns;
+    std::uint64_t max_put_bytes = 0;
+    for (const CommEdge& e : c.comm_matrix) {
+      max_put_bytes = std::max(max_put_bytes, e.traffic.put_bytes);
+    }
+    os << ",\n   \"matrix_pairs\":" << c.comm_matrix.size()
+       << ",\"matrix_max_put_bytes\":" << max_put_bytes
+       << ",\"matrix\":[";
+    bool first_edge = true;
+    for (const CommEdge& e : c.comm_matrix) {
+      if (!first_edge) os << ",";
+      first_edge = false;
+      os << "\n    {\"src\":" << e.src << ",\"dst\":" << e.dst
+         << ",\"puts\":" << e.traffic.puts
+         << ",\"put_bytes\":" << e.traffic.put_bytes
+         << ",\"rpcs\":" << e.traffic.rpcs_sent
+         << ",\"rpc_bytes\":" << e.traffic.rpc_bytes << "}";
+    }
+    os << "]}}";
+  }
+  os << "\n],\n\"shape_checks\":[";
+  bool first_check = true;
+  for (const ShapeCheck& s : shape_checks_) {
+    if (!first_check) os << ",";
+    first_check = false;
+    os << "\n {";
+    emit_kv(os, "claim", s.claim, /*comma=*/false);
+    os << ",\"ok\":" << (s.ok ? "true" : "false") << "}";
+  }
+  os << "\n],\n";
+  emit_num_map(os, "metrics", metrics_);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string BenchReport::path() const {
+  std::string dir = ".";
+  // Read at write time, not construction: tests set SIMCOV_BENCH_DIR before
+  // the report is written, never concurrently with it.
+  const char* e = std::getenv("SIMCOV_BENCH_DIR");  // NOLINT(concurrency-mt-unsafe)
+  if (e != nullptr && *e != '\0') dir = e;
+  return dir + "/BENCH_" + name_ + ".json";
+}
+
+void BenchReport::write() const {
+  const std::string p = path();
+  std::ofstream f(p, std::ios::trunc);
+  SIMCOV_REQUIRE(f.good(), "cannot open bench report for writing: " + p);
+  f << to_json();
+  f.flush();
+  SIMCOV_REQUIRE(f.good(), "failed writing bench report: " + p);
+}
+
+void BenchReport::print_drift_summary(std::FILE* out) const {
+  // Aggregate over configs: sum measured and modeled per-phase seconds, then
+  // compare shares.  One table per bench keeps the signal readable even for
+  // binaries that run ten configurations.
+  std::map<std::string, double> measured, modeled;
+  double measured_total = 0.0, modeled_total = 0.0;
+  for (const BenchConfig& c : configs_) {
+    for (const auto& [k, v] : c.measured_by_phase_s) {
+      measured[k] += v;
+      measured_total += v;
+    }
+    for (const auto& [k, v] : c.modeled_by_phase_s) {
+      modeled[k] += v;
+      modeled_total += v;
+    }
+  }
+  if (measured_total <= 0.0 || modeled_total <= 0.0) return;
+  TextTable t({"phase", "measured s", "share", "modeled s", "share",
+               "divergence"});
+  // Walk phases in the perfmodel's canonical order so the table matches the
+  // phase-breakdown table printed by the harness.
+  for (int p = 0; p < perfmodel::kNumPhases; ++p) {
+    const char* name = perfmodel::phase_name(static_cast<perfmodel::Phase>(p));
+    const double m = measured.count(name) ? measured.at(name) : 0.0;
+    const double c = modeled.count(name) ? modeled.at(name) : 0.0;
+    if (m == 0.0 && c == 0.0) continue;
+    const double ms = m / measured_total;
+    const double cs = c / modeled_total;
+    t.add_row({name, fmt(m, 4), fmt(ms * 100.0, 1) + "%", fmt(c, 4),
+               fmt(cs * 100.0, 1) + "%",
+               fmt((ms - cs) * 100.0, 1) + " pp"});
+  }
+  std::fprintf(out,
+               "measured-vs-modeled phase drift (all configs, divergence = "
+               "measured share - modeled share):\n%s",
+               t.to_string().c_str());
+}
+
+}  // namespace simcov::obs

@@ -34,7 +34,25 @@ Tracer::~Tracer() {
 }
 
 void Tracer::enable(std::string path, std::size_t capacity) {
-  SIMCOV_REQUIRE(capacity > 0, "tracer capacity must be positive");
+  if (capacity == 0) {
+    // Resolve the ring size from the environment (SIMCOV_TRACE_RING=N).
+    // Re-read on every enable() so tests and long-lived processes can
+    // adjust it between runs; nothing in the library calls setenv.
+    capacity = kDefaultCapacity;
+    const char* e = std::getenv("SIMCOV_TRACE_RING");  // NOLINT(concurrency-mt-unsafe)
+    if (e != nullptr && *e != '\0') {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(e, &end, 10);
+      if (end != nullptr && *end == '\0' && n > 0) {
+        capacity = static_cast<std::size_t>(n);
+      } else {
+        std::fprintf(stderr,
+                     "simcov: ignoring invalid SIMCOV_TRACE_RING=%s "
+                     "(want a positive integer); using %zu\n",
+                     e, capacity);
+      }
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   path_ = std::move(path);
   capacity_ = capacity;
@@ -80,6 +98,11 @@ std::size_t Tracer::event_count() const {
 std::uint64_t Tracer::dropped() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return dropped_;
+}
+
+std::size_t Tracer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
 }
 
 std::string Tracer::path() const {
@@ -202,6 +225,16 @@ void Tracer::flush() {
   std::string p = path();
   if (!enabled() || p.empty()) return;
   write_json_file(p);
+  // Saturation is otherwise only visible inside the JSON's otherData, which
+  // nobody reads until the trace looks mysteriously truncated.
+  const std::uint64_t d = dropped();
+  if (d > 0) {
+    std::fprintf(stderr,
+                 "simcov: trace ring saturated: %llu oldest spans were "
+                 "overwritten (capacity %zu); raise it with --trace-ring=N "
+                 "or SIMCOV_TRACE_RING=N\n",
+                 static_cast<unsigned long long>(d), capacity());
+  }
 }
 
 Tracer& tracer() {

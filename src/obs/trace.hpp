@@ -60,8 +60,11 @@ class Tracer {
   Tracer& operator=(const Tracer&) = delete;
 
   /// Starts collecting.  `path` may be empty (collect only, no auto-flush).
-  /// Resets the ring, the drop counter and the time origin.
-  void enable(std::string path, std::size_t capacity = kDefaultCapacity);
+  /// Resets the ring, the drop counter and the time origin.  `capacity` = 0
+  /// (the default) resolves to the SIMCOV_TRACE_RING environment override
+  /// if set, else kDefaultCapacity; an explicit positive capacity (tests,
+  /// --trace-ring=N) always wins over the environment.
+  void enable(std::string path, std::size_t capacity = 0);
   /// Stops collecting and discards buffered spans.
   void disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
@@ -71,6 +74,7 @@ class Tracer {
 
   std::size_t event_count() const;
   std::uint64_t dropped() const;
+  std::size_t capacity() const;
   std::string path() const;
 
   /// Buffered spans, oldest first (testing / programmatic consumption).

@@ -6,10 +6,41 @@
 // copy count/bytes for the GPU version's halo exchanges, and collective
 // counts for the per-step statistics reductions.  Counting happens at the
 // PGAS layer so neither simulation backend can forget to report traffic.
+//
+// Besides the aggregate counters, every rank keeps a per-destination
+// breakdown of its point-to-point traffic (`peers`): one PeerStats per
+// (this rank -> dst) pair touched by put() or rpc().  Summing a rank's
+// PeerStats over all destinations reproduces its aggregate puts/put_bytes/
+// rpcs_sent/rpc_bytes exactly (tested in tests/pgas_test.cpp); the full
+// (src,dst) matrix is what makes halo-exchange imbalance from the domain
+// decomposition directly visible in bench reports and metrics snapshots.
 
 #include <cstdint>
+#include <map>
 
 namespace simcov::pgas {
+
+/// Point-to-point traffic from one rank to one destination rank.
+struct PeerStats {
+  std::uint64_t rpcs_sent = 0;  ///< RPCs enqueued on this destination
+  std::uint64_t rpc_bytes = 0;  ///< approximate RPC payload bytes
+  std::uint64_t puts = 0;       ///< bulk one-sided copies to this destination
+  std::uint64_t put_bytes = 0;  ///< bytes moved by those copies
+
+  PeerStats& operator+=(const PeerStats& o) {
+    rpcs_sent += o.rpcs_sent;
+    rpc_bytes += o.rpc_bytes;
+    puts += o.puts;
+    put_bytes += o.put_bytes;
+    return *this;
+  }
+
+  bool zero() const {
+    return rpcs_sent == 0 && rpc_bytes == 0 && puts == 0 && put_bytes == 0;
+  }
+
+  friend bool operator==(const PeerStats&, const PeerStats&) = default;
+};
 
 struct CommStats {
   std::uint64_t rpcs_sent = 0;     ///< remote procedure calls issued
@@ -26,6 +57,10 @@ struct CommStats {
   /// counting): the per-rank spread of this number is load imbalance.  The
   /// cost model does not price it; the metrics layer exports it per step.
   std::uint64_t barrier_wait_ns = 0;
+  /// Per-destination point-to-point breakdown: dst rank -> traffic this
+  /// rank sent there.  Row of the (src,dst) communication matrix; summed
+  /// over keys it equals the aggregate rpc/put counters above.
+  std::map<int, PeerStats> peers;
 
   CommStats& operator+=(const CommStats& o) {
     rpcs_sent += o.rpcs_sent;
@@ -38,10 +73,13 @@ struct CommStats {
     broadcasts += o.broadcasts;
     broadcast_bytes += o.broadcast_bytes;
     barrier_wait_ns += o.barrier_wait_ns;
+    for (const auto& [dst, p] : o.peers) peers[dst] += p;
     return *this;
   }
 
-  /// Difference since a snapshot (used for per-step accounting).
+  /// Difference since a snapshot (used for per-step accounting).  Counters
+  /// are monotonic, so every key in `snapshot.peers` exists here too;
+  /// all-zero peer deltas are dropped to keep per-phase samples small.
   CommStats since(const CommStats& snapshot) const {
     CommStats d;
     d.rpcs_sent = rpcs_sent - snapshot.rpcs_sent;
@@ -54,6 +92,17 @@ struct CommStats {
     d.broadcasts = broadcasts - snapshot.broadcasts;
     d.broadcast_bytes = broadcast_bytes - snapshot.broadcast_bytes;
     d.barrier_wait_ns = barrier_wait_ns - snapshot.barrier_wait_ns;
+    for (const auto& [dst, p] : peers) {
+      PeerStats dp = p;
+      const auto it = snapshot.peers.find(dst);
+      if (it != snapshot.peers.end()) {
+        dp.rpcs_sent -= it->second.rpcs_sent;
+        dp.rpc_bytes -= it->second.rpc_bytes;
+        dp.puts -= it->second.puts;
+        dp.put_bytes -= it->second.put_bytes;
+      }
+      if (!dp.zero()) d.peers.emplace(dst, dp);
+    }
     return d;
   }
 };

@@ -50,6 +50,11 @@ void Rank::rpc(RankId target, std::function<void()> fn,
                  "rpc target rank out of range");
   ++stats_.rpcs_sent;
   stats_.rpc_bytes += approx_bytes;
+  // Comm-matrix row: counted at the same point as the aggregates so the
+  // per-destination sums always equal rpcs_sent / rpc_bytes exactly.
+  PeerStats& peer = stats_.peers[target];
+  ++peer.rpcs_sent;
+  peer.rpc_bytes += approx_bytes;
   Rank& t = *runtime_.ranks_[static_cast<std::size_t>(target)];
   std::lock_guard<std::mutex> lock(t.rpc_mutex_);
   t.rpc_queue_.push_back(std::move(fn));
@@ -199,6 +204,11 @@ void Rank::put(RankId target, int chan, std::span<const std::byte> data,
                  "put target rank out of range");
   ++stats_.puts;
   stats_.put_bytes += data.size();
+  // Counted alongside the aggregates (before channel validation, like puts/
+  // put_bytes) so matrix row sums stay exactly equal to the aggregates.
+  PeerStats& peer = stats_.peers[target];
+  ++peer.puts;
+  peer.put_bytes += data.size();
   obs::ScopedSpan span("put", id_);
   Rank& t = *runtime_.ranks_[static_cast<std::size_t>(target)];
   std::lock_guard<std::mutex> lock(t.channel_mutex_);
@@ -288,6 +298,29 @@ void Runtime::run(const std::function<void(Rank&)>& fn) {
   for (int r = 0; r < num_ranks_; ++r) {
     last_stats_[static_cast<std::size_t>(r)] =
         ranks_[static_cast<std::size_t>(r)]->stats();
+  }
+  // Export the (src,dst) communication matrix into the metrics snapshot:
+  // one counter per touched pair and field, keyed by destination in the
+  // name and by source in the metrics rank dimension.  Done once per job
+  // after the join so it costs nothing on the rank critical path.
+  if (obs::metrics().enabled()) {
+    for (int r = 0; r < num_ranks_; ++r) {
+      const CommStats& s = last_stats_[static_cast<std::size_t>(r)];
+      for (const auto& [dst, p] : s.peers) {
+        const std::string suffix = "_to." + std::to_string(dst);
+        auto& m = obs::metrics();
+        if (p.puts != 0) {
+          m.add("comm.puts" + suffix, r, static_cast<double>(p.puts));
+          m.add("comm.put_bytes" + suffix, r,
+                static_cast<double>(p.put_bytes));
+        }
+        if (p.rpcs_sent != 0) {
+          m.add("comm.rpcs" + suffix, r, static_cast<double>(p.rpcs_sent));
+          m.add("comm.rpc_bytes" + suffix, r,
+                static_cast<double>(p.rpc_bytes));
+        }
+      }
+    }
   }
   if (checker_) {
     for (int r = 0; r < num_ranks_; ++r) {

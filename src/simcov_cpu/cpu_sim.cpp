@@ -820,6 +820,10 @@ CpuRunResult run_cpu_sim(const SimParams& params,
   const pgas::CommStats total = rt.total_stats();
   result.total_rpcs = total.rpcs_sent;
   result.total_put_bytes = total.put_bytes;
+  result.comm_by_rank.reserve(static_cast<std::size_t>(options.num_ranks));
+  for (int r = 0; r < options.num_ranks; ++r) {
+    result.comm_by_rank.push_back(rt.rank_stats(r));
+  }
   return result;
 }
 

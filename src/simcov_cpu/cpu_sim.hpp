@@ -19,6 +19,7 @@
 #include "core/params.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
+#include "pgas/comm_stats.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/machine.hpp"
 
@@ -39,6 +40,9 @@ struct CpuRunResult {
   perfmodel::RunCost cost;                  ///< modeled bulk-synchronous time
   std::uint64_t total_rpcs = 0;
   std::uint64_t total_put_bytes = 0;
+  /// Full per-rank communication counters (including the per-destination
+  /// comm matrix in CommStats::peers), indexed by rank id.
+  std::vector<pgas::CommStats> comm_by_rank;
 };
 
 /// Runs the full simulation SPMD over options.num_ranks ranks and returns

@@ -1075,6 +1075,10 @@ GpuRunResult run_gpu_sim(const SimParams& params,
   const pgas::CommStats total = rt.total_stats();
   result.total_put_bytes = total.put_bytes;
   result.total_kernel_launches = result.device_total.kernel_launches;
+  result.comm_by_rank.reserve(static_cast<std::size_t>(options.num_ranks));
+  for (int r = 0; r < options.num_ranks; ++r) {
+    result.comm_by_rank.push_back(rt.rank_stats(r));
+  }
   return result;
 }
 

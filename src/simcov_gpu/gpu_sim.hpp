@@ -22,6 +22,7 @@
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "gpusim/device.hpp"
+#include "pgas/comm_stats.hpp"
 #include "perfmodel/cost_model.hpp"
 #include "perfmodel/machine.hpp"
 
@@ -64,6 +65,9 @@ struct GpuRunResult {
   gpusim::DeviceStats device_total;   ///< summed over devices
   std::uint64_t total_put_bytes = 0;
   std::uint64_t total_kernel_launches = 0;
+  /// Full per-rank communication counters (including the per-destination
+  /// comm matrix in CommStats::peers), indexed by rank id.
+  std::vector<pgas::CommStats> comm_by_rank;
 };
 
 /// Runs the full simulation SPMD with one virtual GPU per rank.

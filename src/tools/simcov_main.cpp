@@ -17,6 +17,10 @@
 //                       active-tile occupancy, RPC histograms, ...  Equivalent
 //                       to SIMCOV_METRICS=FILE.  Also prints the measured
 //                       per-phase wall-clock breakdown to stderr.
+//   --trace-ring=N      span ring-buffer capacity (default 262144).  When the
+//                       ring saturates the oldest spans are overwritten and a
+//                       warning is printed at export time.  Equivalent to
+//                       SIMCOV_TRACE_RING=N.
 // Both paths are validated before the run starts; an unwritable path is a
 // hard error up front, not after the simulation has finished.
 //
@@ -37,6 +41,7 @@
 //   steps_after_resume  extra steps when resuming (default num_steps)
 
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <optional>
 #include <string>
@@ -230,18 +235,27 @@ int main(int argc, char** argv) {
     // (not simulation parameters) and must be validated before anything
     // expensive runs.
     std::string trace_path, metrics_path;
+    std::size_t trace_ring = 0;
     std::vector<char*> rest;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a.rfind("--trace=", 0) == 0) {
         trace_path = a.substr(8);
+      } else if (a.rfind("--trace-ring=", 0) == 0) {
+        const std::string v = a.substr(13);
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+        SIMCOV_REQUIRE(end != nullptr && *end == '\0' && n > 0,
+                       "--trace-ring needs a positive integer, got '" + v +
+                           "'");
+        trace_ring = static_cast<std::size_t>(n);
       } else if (a.rfind("--metrics-out=", 0) == 0) {
         metrics_path = a.substr(14);
       } else {
         rest.push_back(argv[i]);
       }
     }
-    harness::configure_observability(trace_path, metrics_path);
+    harness::configure_observability(trace_path, metrics_path, trace_ring);
 
     Config cfg;
     std::size_t first_kv = 0;

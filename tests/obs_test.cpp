@@ -12,14 +12,17 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/params.hpp"
 #include "harness/experiment.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "simcov_gpu/gpu_sim.hpp"
 #include "util/error.hpp"
@@ -246,6 +249,29 @@ TEST(Tracer, DisableMidSpanIsSafe) {
   EXPECT_EQ(obs::tracer().event_count(), 0u);
 }
 
+TEST(Tracer, EnvVarSetsRingCapacity) {
+  reset_obs();
+  ::setenv("SIMCOV_TRACE_RING", "8", 1);
+  obs::tracer().enable("");
+  EXPECT_EQ(obs::tracer().capacity(), 8u);
+  for (int i = 0; i < 10; ++i) obs::tracer().record("e", 0, i, i + 1);
+  EXPECT_EQ(obs::tracer().event_count(), 8u);
+  EXPECT_EQ(obs::tracer().dropped(), 2u);
+  obs::tracer().disable();
+
+  // An explicit capacity beats the environment.
+  obs::tracer().enable("", /*capacity=*/4);
+  EXPECT_EQ(obs::tracer().capacity(), 4u);
+  obs::tracer().disable();
+
+  // Garbage in the environment falls back to the default (with a warning).
+  ::setenv("SIMCOV_TRACE_RING", "not-a-number", 1);
+  obs::tracer().enable("");
+  EXPECT_EQ(obs::tracer().capacity(), obs::Tracer::kDefaultCapacity);
+  ::unsetenv("SIMCOV_TRACE_RING");
+  reset_obs();
+}
+
 // ---- end-to-end trace validity --------------------------------------------
 
 TEST(Trace, GpuRunProducesValidNestedJsonPerRankUnderChecker) {
@@ -381,6 +407,60 @@ TEST(Metrics, RecordsAndExportsAllKinds) {
   reset_obs();
 }
 
+TEST(Metrics, HistogramQuantilesAreDeterministic) {
+  // Quantiles come from fixed log-2 buckets, not from stored samples: the
+  // same multiset of observations — in any order — must yield bit-identical
+  // buckets, p50/p95/p99 and therefore bit-identical JSON.
+  reset_obs();
+  obs::metrics().enable("");
+  for (int i = 100; i >= 1; --i) {  // 1..100, reversed insertion order
+    obs::metrics().observe("h", 0, static_cast<double>(i));
+  }
+  const std::string json1 = obs::metrics().to_json();
+  const std::string json2 = obs::metrics().to_json();
+  EXPECT_EQ(json1, json2);
+
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(json1).parse());
+  const auto& h = root.obj.at("histograms").obj.at("h").obj.at("0").obj;
+  EXPECT_EQ(h.at("count").number, 100.0);
+  // 1..100 over base-2 buckets: rank 50 lands in bucket [32,64) -> upper
+  // bound 64; ranks 95 and 99 land in [64,128) -> clamped to max = 100.
+  EXPECT_EQ(h.at("p50").number, 64.0);
+  EXPECT_EQ(h.at("p95").number, 100.0);
+  EXPECT_EQ(h.at("p99").number, 100.0);
+  const auto& buckets = h.at("buckets").obj;
+  EXPECT_EQ(buckets.at("0").number, 1.0);    // {1}
+  EXPECT_EQ(buckets.at("1").number, 2.0);    // {2,3}
+  EXPECT_EQ(buckets.at("5").number, 32.0);   // {32..63}
+  EXPECT_EQ(buckets.at("6").number, 37.0);   // {64..100}
+  obs::metrics().disable();
+
+  // Same observations in a different order: identical summary.
+  obs::metrics().enable("");
+  for (int i = 1; i <= 100; ++i) {
+    obs::metrics().observe("h", 0, static_cast<double>(i));
+  }
+  EXPECT_EQ(obs::metrics().to_json(), json1);
+  obs::metrics().disable();
+
+  // Non-positive and non-finite values funnel into the underflow bucket;
+  // their quantile is the tracked minimum.
+  obs::HistSummary u{};
+  u.min = std::numeric_limits<double>::infinity();
+  u.max = -std::numeric_limits<double>::infinity();
+  for (double v : {0.0, -5.0}) {
+    ++u.count;
+    u.sum += v;
+    u.min = std::min(u.min, v);
+    u.max = std::max(u.max, v);
+    ++u.buckets[obs::HistSummary::bucket_of(v)];
+  }
+  EXPECT_EQ(u.buckets.count(obs::HistSummary::kUnderflowBucket), 1u);
+  EXPECT_EQ(u.quantile(0.5), -5.0);
+  reset_obs();
+}
+
 TEST(Metrics, GpuSnapshotDeterministicForFixedSeedAndRanks) {
   // Two identical runs must export bit-identical values for every metric
   // that is not a wall-clock measurement.  (Timing metrics — *.wall_ns,
@@ -438,6 +518,119 @@ TEST(Harness, ConfigureObservabilityRejectsUnwritablePaths) {
 TEST(Harness, FinishObservabilityIsSafeWhenDisabled) {
   reset_obs();
   EXPECT_NO_THROW(harness::finish_observability());
+}
+
+// ---- bench reports ---------------------------------------------------------
+
+TEST(BenchReport, EmitsSchemaValidJsonWithConsistentCommMatrix) {
+  reset_obs();
+  obs::BenchReport rep("unit_test");
+  rep.set_context("unit experiment", "paper cfg \"quoted\"", "our cfg");
+
+  // Two ranks with asymmetric peer traffic, assembled the way Reporter does.
+  std::vector<pgas::CommStats> by_rank(2);
+  by_rank[0].puts = 3;
+  by_rank[0].put_bytes = 300;
+  by_rank[0].rpcs_sent = 2;
+  by_rank[0].rpc_bytes = 20;
+  by_rank[0].peers[1] = pgas::PeerStats{2, 20, 3, 300};
+  by_rank[1].puts = 1;
+  by_rank[1].put_bytes = 64;
+  by_rank[1].peers[0] = pgas::PeerStats{0, 0, 1, 64};
+
+  obs::BenchConfig cfg;
+  cfg.label = "cfg a";
+  cfg.backend = "gpu";
+  cfg.ranks = 2;
+  cfg.params = {{"dim_x", 48.0}, {"seed", 7.0}};
+  cfg.measured_wall_s = 0.25;
+  cfg.modeled_s = 1.5;
+  cfg.measured_by_phase_s = {{"halo", 0.1}, {"t_cells", 0.15}};
+  cfg.modeled_by_phase_s = {{"halo", 0.5}, {"t_cells", 1.0}};
+  for (const auto& s : by_rank) cfg.comm_total += s;
+  cfg.comm_matrix = obs::BenchReport::matrix_from(by_rank);
+  rep.add_config(cfg);
+  rep.add_shape_check("unit claim", true);
+  rep.add_metric("answer", 42.0);
+
+  // Deterministic serialization.
+  const std::string json = rep.to_json();
+  EXPECT_EQ(json, rep.to_json());
+
+  JsonValue root;
+  ASSERT_NO_THROW(root = JsonParser(json).parse());
+  EXPECT_EQ(root.obj.at("schema").str, "simcov-bench/1");
+  EXPECT_EQ(root.obj.at("bench").str, "unit_test");
+  EXPECT_EQ(root.obj.at("paper_config").str, "paper cfg \"quoted\"");
+  EXPECT_FALSE(root.obj.at("machine").obj.at("compiler").str.empty());
+
+  const auto& c = root.obj.at("configs").arr.at(0).obj;
+  EXPECT_EQ(c.at("label").str, "cfg a");
+  EXPECT_EQ(c.at("ranks").number, 2.0);
+  EXPECT_EQ(c.at("params").obj.at("dim_x").number, 48.0);
+  EXPECT_EQ(c.at("measured_wall_s").number, 0.25);
+  EXPECT_EQ(c.at("modeled_s").number, 1.5);
+
+  // The comm matrix must sum exactly to the aggregate counters — the same
+  // invariant tools/check_bench.py enforces on every report.
+  const auto& comm = c.at("comm").obj;
+  const auto& matrix = comm.at("matrix").arr;
+  ASSERT_EQ(matrix.size(), 2u);
+  EXPECT_EQ(comm.at("matrix_pairs").number, 2.0);
+  EXPECT_EQ(comm.at("matrix_max_put_bytes").number, 300.0);
+  double puts = 0, put_bytes = 0, rpcs = 0, rpc_bytes = 0;
+  for (const JsonValue& e : matrix) {
+    puts += e.obj.at("puts").number;
+    put_bytes += e.obj.at("put_bytes").number;
+    rpcs += e.obj.at("rpcs").number;
+    rpc_bytes += e.obj.at("rpc_bytes").number;
+  }
+  EXPECT_EQ(puts, comm.at("puts").number);
+  EXPECT_EQ(put_bytes, comm.at("put_bytes").number);
+  EXPECT_EQ(rpcs, comm.at("rpcs_sent").number);
+  EXPECT_EQ(rpc_bytes, comm.at("rpc_bytes").number);
+  // Edges sorted by (src,dst).
+  EXPECT_EQ(matrix.at(0).obj.at("src").number, 0.0);
+  EXPECT_EQ(matrix.at(1).obj.at("src").number, 1.0);
+
+  EXPECT_EQ(root.obj.at("shape_checks").arr.at(0).obj.at("claim").str,
+            "unit claim");
+  EXPECT_TRUE(root.obj.at("shape_checks").arr.at(0).obj.at("ok").boolean);
+  EXPECT_EQ(root.obj.at("metrics").obj.at("answer").number, 42.0);
+
+  // write() honours SIMCOV_BENCH_DIR and writes exactly to_json().
+  ::setenv("SIMCOV_BENCH_DIR", ::testing::TempDir().c_str(), 1);
+  const std::string path = rep.path();
+  EXPECT_NE(path.find("BENCH_unit_test.json"), std::string::npos);
+  rep.write();
+  ::unsetenv("SIMCOV_BENCH_DIR");
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::ostringstream read_back;
+  read_back << f.rdbuf();
+  EXPECT_EQ(read_back.str(), json);
+}
+
+TEST(BenchReport, DriftRowsComputedFromPhaseCounters) {
+  // drift_from sums the per-rank PhaseClock counters and compares shares
+  // against the modeled per-phase costs.
+  std::map<std::string, std::map<int, double>> counters;
+  counters["phase.halo.wall_ns"] = {{0, 1e9}, {1, 1e9}};      // 2 s measured
+  counters["phase.t_cells.wall_ns"] = {{0, 3e9}, {1, 3e9}};   // 6 s measured
+  perfmodel::RunCost cost{};
+  cost.by_phase[static_cast<int>(perfmodel::Phase::kHalo)] = 1.0;
+  cost.by_phase[static_cast<int>(perfmodel::Phase::kTCells)] = 1.0;
+  const auto rows = obs::BenchReport::drift_from(counters, cost);
+  ASSERT_EQ(rows.size(), 2u);
+  // Rows come back in canonical phase order: t_cells before halo.
+  EXPECT_EQ(rows[0].phase, "t_cells");
+  EXPECT_DOUBLE_EQ(rows[0].measured_s, 6.0);
+  EXPECT_DOUBLE_EQ(rows[0].measured_share, 0.75);
+  EXPECT_DOUBLE_EQ(rows[0].modeled_share, 0.5);
+  EXPECT_DOUBLE_EQ(rows[0].divergence, 0.25);
+  EXPECT_EQ(rows[1].phase, "halo");
+  EXPECT_DOUBLE_EQ(rows[1].measured_s, 2.0);
+  EXPECT_DOUBLE_EQ(rows[1].divergence, -0.25);
 }
 
 }  // namespace

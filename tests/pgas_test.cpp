@@ -277,6 +277,104 @@ TEST(Pgas, StatsSinceAndAccumulateCoverBroadcastAndWait) {
   EXPECT_EQ(sum.barrier_wait_ns, 130u);
 }
 
+TEST(Pgas, StatsRoundTripEveryFieldThroughAccumulateAndSince) {
+  // Every CommStats field — including the per-peer matrix — must survive
+  // the += / since() round trip, or bench reports silently drop traffic.
+  CommStats a;
+  a.rpcs_sent = 1;
+  a.rpc_bytes = 10;
+  a.puts = 2;
+  a.put_bytes = 20;
+  a.barriers = 3;
+  a.barrier_wait_ns = 30;
+  a.reductions = 4;
+  a.reduction_bytes = 40;
+  a.broadcasts = 5;
+  a.broadcast_bytes = 50;
+  a.peers[1] = PeerStats{1, 10, 2, 20};
+  const CommStats snap = a;
+
+  CommStats b = a;
+  b.rpcs_sent += 7;
+  b.rpc_bytes += 70;
+  b.puts += 8;
+  b.put_bytes += 80;
+  b.barriers += 9;
+  b.barrier_wait_ns += 90;
+  b.reductions += 10;
+  b.reduction_bytes += 100;
+  b.broadcasts += 11;
+  b.broadcast_bytes += 110;
+  b.peers[1] += PeerStats{7, 70, 8, 80};
+  b.peers[3] = PeerStats{2, 6, 1, 5};
+
+  const CommStats d = b.since(snap);
+  EXPECT_EQ(d.rpcs_sent, 7u);
+  EXPECT_EQ(d.rpc_bytes, 70u);
+  EXPECT_EQ(d.puts, 8u);
+  EXPECT_EQ(d.put_bytes, 80u);
+  EXPECT_EQ(d.barriers, 9u);
+  EXPECT_EQ(d.barrier_wait_ns, 90u);
+  EXPECT_EQ(d.reductions, 10u);
+  EXPECT_EQ(d.reduction_bytes, 100u);
+  EXPECT_EQ(d.broadcasts, 11u);
+  EXPECT_EQ(d.broadcast_bytes, 110u);
+  ASSERT_EQ(d.peers.size(), 2u);
+  EXPECT_EQ(d.peers.at(1), (PeerStats{7, 70, 8, 80}));
+  EXPECT_EQ(d.peers.at(3), (PeerStats{2, 6, 1, 5}));
+
+  // Accumulating the delta back onto the snapshot restores the total.
+  CommStats sum = snap;
+  sum += d;
+  EXPECT_EQ(sum.rpcs_sent, b.rpcs_sent);
+  EXPECT_EQ(sum.put_bytes, b.put_bytes);
+  EXPECT_EQ(sum.peers, b.peers);
+
+  // An unchanged peer produces no entry in the delta.
+  CommStats c = b;
+  c.barriers += 1;
+  EXPECT_TRUE(c.since(b).peers.empty());
+}
+
+TEST(Pgas, PeerMatrixRowSumsEqualAggregates) {
+  // Four ranks, deliberately asymmetric traffic: each rank puts to its
+  // right neighbour and RPCs every other rank a rank-dependent amount.
+  constexpr int kRanks = 4;
+  Runtime rt(kRanks);
+  rt.run([&](Rank& r) {
+    r.register_channel(0, 256);
+    r.barrier();
+    const int right = (r.id() + 1) % kRanks;
+    std::vector<std::byte> data(static_cast<std::size_t>(16 + 8 * r.id()));
+    r.put(right, 0, data);
+    if (r.id() == 0) r.put(right, 0, data);  // extra edge weight on 0->1
+    for (int dst = 0; dst < kRanks; ++dst) {
+      if (dst == r.id()) continue;
+      r.rpc(dst, [] {}, /*approx_bytes=*/static_cast<std::size_t>(10 + dst));
+    }
+    r.rpc_quiescence();
+  });
+  for (int src = 0; src < kRanks; ++src) {
+    const CommStats s = rt.rank_stats(src);
+    PeerStats row_sum;
+    for (const auto& [dst, p] : s.peers) {
+      EXPECT_NE(dst, src) << "self-edge in comm matrix";
+      row_sum += p;
+    }
+    // The invariant the bench-report comm matrix relies on: per-peer
+    // traffic sums exactly to this rank's aggregate counters.
+    EXPECT_EQ(row_sum.puts, s.puts) << "rank " << src;
+    EXPECT_EQ(row_sum.put_bytes, s.put_bytes) << "rank " << src;
+    EXPECT_EQ(row_sum.rpcs_sent, s.rpcs_sent) << "rank " << src;
+    EXPECT_EQ(row_sum.rpc_bytes, s.rpc_bytes) << "rank " << src;
+  }
+  // Spot-check one edge: rank 0 put twice to rank 1, others once.
+  EXPECT_EQ(rt.rank_stats(0).peers.at(1).puts, 2u);
+  EXPECT_EQ(rt.rank_stats(1).peers.at(2).puts, 1u);
+  EXPECT_EQ(rt.rank_stats(2).peers.at(0).rpcs_sent, 1u);
+  EXPECT_EQ(rt.rank_stats(2).peers.at(0).rpc_bytes, 10u);
+}
+
 TEST(Pgas, RunCanBeRepeated) {
   Runtime rt(3);
   for (int i = 0; i < 3; ++i) {

@@ -1,0 +1,319 @@
+#!/usr/bin/env python3
+"""Validate and regression-gate the BENCH_*.json bench reports.
+
+Every bench binary writes a machine-readable ``BENCH_<name>.json``
+(schema ``simcov-bench/1``, see src/obs/report.hpp).  This script does
+two independent jobs:
+
+1. **Schema validation** — structural checks every report must pass on
+   any machine: required fields present, the per-(src,dst) comm matrix
+   sums exactly to the aggregate comm counters, drift rows are
+   internally consistent, and no shape check failed.
+
+2. **Regression gate** — compare against committed baselines in
+   ``bench/baselines/``.  Metrics are classed by how machine-dependent
+   they are:
+
+   * *exact*   — comm counts (excluding ``barrier_wait_ns``), the comm
+                 matrix, params, ranks, backend, shape-check verdicts.
+                 These are deterministic; any difference is a failure.
+   * *modeled* — ``modeled_s`` / ``modeled_by_phase_s`` come from the
+                 cost model and are deterministic in principle, but tiny
+                 float reassociation across compilers is tolerated:
+                 relative drift <= 2% warns, an *increase* beyond 2%
+                 fails, a decrease beyond 2% warns (likely a genuine
+                 model change — refresh the baseline).
+   * *measured* — wall-clock numbers vary by machine; reported only,
+                 unless ``--measured-factor F`` is given, which fails a
+                 report whose measured_wall_s exceeds baseline * F.
+
+Baselines are *normalized*: machine fingerprint, measured phase
+breakdowns, drift rows and free-form metrics are stripped so committed
+baselines stay machine-independent (a single reference
+``measured_wall_s`` per config is kept for --measured-factor).
+
+Usage:
+  python3 tools/check_bench.py [REPORT.json ...]
+      No reports given: checks every BENCH_*.json in the current
+      directory.  A report without a committed baseline gets schema
+      validation plus a warning.
+  python3 tools/check_bench.py --update-baselines [REPORT.json ...]
+      Rewrite bench/baselines/<name>.json from the given (or found)
+      reports.  Commit the result.
+
+Exit status: 0 = all checks passed (warnings allowed), 1 = any failure.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+SCHEMA = "simcov-bench/1"
+MODELED_RTOL = 0.02
+# report "comm" aggregate key -> matrix edge key
+MATRIX_SUMS = {
+    "puts": "puts",
+    "put_bytes": "put_bytes",
+    "rpcs_sent": "rpcs",
+    "rpc_bytes": "rpc_bytes",
+}
+COMM_EXACT_KEYS = [
+    "rpcs_sent", "rpc_bytes", "puts", "put_bytes", "barriers",
+    "reductions", "reduction_bytes", "broadcasts", "broadcast_bytes",
+]  # everything except barrier_wait_ns, which is wall time
+
+
+class Log:
+    def __init__(self):
+        self.failures = 0
+        self.warnings = 0
+
+    def fail(self, ctx, msg):
+        self.failures += 1
+        print(f"FAIL  {ctx}: {msg}")
+
+    def warn(self, ctx, msg):
+        self.warnings += 1
+        print(f"WARN  {ctx}: {msg}")
+
+    def note(self, ctx, msg):
+        print(f"note  {ctx}: {msg}")
+
+
+def validate(report, ctx, log):
+    """Machine-independent structural checks on one report."""
+    if report.get("schema") != SCHEMA:
+        log.fail(ctx, f"schema is {report.get('schema')!r}, want {SCHEMA!r}")
+        return
+    for key in ("bench", "experiment", "machine", "configs", "shape_checks",
+                "metrics"):
+        if key not in report:
+            log.fail(ctx, f"missing top-level key {key!r}")
+            return
+    for check in report["shape_checks"]:
+        if not check.get("ok", False):
+            log.fail(ctx, f"shape check failed: {check.get('claim')!r}")
+    for cfg in report["configs"]:
+        cctx = f"{ctx} [{cfg.get('label', '?')}]"
+        for key in ("label", "backend", "ranks", "params", "measured_wall_s",
+                    "modeled_s", "measured_by_phase_s", "modeled_by_phase_s",
+                    "drift", "comm"):
+            if key not in cfg:
+                log.fail(cctx, f"missing config key {key!r}")
+                return
+        comm = cfg["comm"]
+        matrix = comm.get("matrix", [])
+        if comm.get("matrix_pairs") != len(matrix):
+            log.fail(cctx, f"matrix_pairs={comm.get('matrix_pairs')} but "
+                           f"matrix has {len(matrix)} edges")
+        edges = [(e["src"], e["dst"]) for e in matrix]
+        if edges != sorted(edges):
+            log.fail(cctx, "comm matrix is not sorted by (src, dst)")
+        if len(edges) != len(set(edges)):
+            log.fail(cctx, "comm matrix has duplicate (src, dst) edges")
+        for src, dst in edges:
+            if not (0 <= src < cfg["ranks"] and 0 <= dst < cfg["ranks"]):
+                log.fail(cctx, f"matrix edge ({src},{dst}) outside "
+                               f"[0,{cfg['ranks']})")
+        # The core invariant: per-pair traffic sums exactly to aggregates.
+        for agg_key, edge_key in MATRIX_SUMS.items():
+            total = sum(e[edge_key] for e in matrix)
+            if total != comm.get(agg_key):
+                log.fail(cctx, f"sum(matrix.{edge_key})={total} != "
+                               f"comm.{agg_key}={comm.get(agg_key)}")
+        for row in cfg["drift"]:
+            want = row["measured_share"] - row["modeled_share"]
+            if abs(row["divergence"] - want) > 1e-9:
+                log.fail(cctx, f"drift[{row['phase']}].divergence="
+                               f"{row['divergence']} != measured_share - "
+                               f"modeled_share = {want}")
+
+
+def rel_diff(new, old):
+    if old == 0.0:
+        return 0.0 if new == 0.0 else float("inf")
+    return (new - old) / old
+
+
+def compare_modeled(new, old, ctx, log):
+    d = rel_diff(new, old)
+    if abs(d) <= MODELED_RTOL:
+        return
+    if d > 0:
+        log.fail(ctx, f"modeled time regressed: {old:g} -> {new:g} s "
+                      f"({d * 100:+.1f}%, tolerance {MODELED_RTOL * 100:.0f}%)")
+    else:
+        log.warn(ctx, f"modeled time improved: {old:g} -> {new:g} s "
+                      f"({d * 100:+.1f}%) — refresh the baseline if intended")
+
+
+def compare(report, baseline, ctx, log, measured_factor):
+    """Regression gate: report vs a normalized committed baseline."""
+    new_cfgs = {c["label"]: c for c in report["configs"]}
+    old_cfgs = {c["label"]: c for c in baseline["configs"]}
+    for label in old_cfgs:
+        if label not in new_cfgs:
+            log.fail(ctx, f"config {label!r} present in baseline but missing "
+                          f"from report")
+    for label in new_cfgs:
+        if label not in old_cfgs:
+            log.warn(ctx, f"config {label!r} has no baseline entry "
+                          f"(new config? refresh baselines)")
+    for label, old in old_cfgs.items():
+        new = new_cfgs.get(label)
+        if new is None:
+            continue
+        cctx = f"{ctx} [{label}]"
+        # exact class
+        for key in ("backend", "ranks", "params"):
+            if new[key] != old[key]:
+                log.fail(cctx, f"{key} changed: {old[key]!r} -> {new[key]!r}")
+        for key in COMM_EXACT_KEYS:
+            if new["comm"][key] != old["comm"][key]:
+                log.fail(cctx, f"comm.{key} changed: {old['comm'][key]} -> "
+                               f"{new['comm'][key]}")
+        old_matrix = old["comm"]["matrix"]
+        new_matrix = new["comm"]["matrix"]
+        if new_matrix != old_matrix:
+            log.fail(cctx, f"comm matrix changed ({len(old_matrix)} -> "
+                           f"{len(new_matrix)} edges, or traffic differs)")
+        # modeled class
+        compare_modeled(new["modeled_s"], old["modeled_s"], cctx, log)
+        phases = set(old["modeled_by_phase_s"]) | set(new["modeled_by_phase_s"])
+        for phase in sorted(phases):
+            compare_modeled(new["modeled_by_phase_s"].get(phase, 0.0),
+                            old["modeled_by_phase_s"].get(phase, 0.0),
+                            f"{cctx} phase {phase}", log)
+        # measured class
+        old_wall = old.get("measured_wall_s", 0.0)
+        new_wall = new["measured_wall_s"]
+        if old_wall > 0.0:
+            log.note(cctx, f"measured wall {new_wall:.3g} s "
+                           f"(baseline machine: {old_wall:.3g} s, "
+                           f"x{new_wall / old_wall:.2f})")
+            if measured_factor is not None and \
+                    new_wall > old_wall * measured_factor:
+                log.fail(cctx, f"measured wall {new_wall:.3g} s exceeds "
+                               f"baseline {old_wall:.3g} s * factor "
+                               f"{measured_factor:g}")
+    # shape-check verdicts are exact
+    old_checks = {c["claim"]: c["ok"] for c in baseline.get("shape_checks", [])}
+    new_checks = {c["claim"]: c["ok"] for c in report.get("shape_checks", [])}
+    for claim, ok in old_checks.items():
+        if claim not in new_checks:
+            log.fail(ctx, f"shape check disappeared: {claim!r}")
+        elif new_checks[claim] != ok:
+            log.fail(ctx, f"shape check flipped {ok} -> {new_checks[claim]}: "
+                          f"{claim!r}")
+
+
+def normalize(report):
+    """Strip machine-dependent content so the committed baseline is stable."""
+    out = {
+        "schema": report["schema"],
+        "bench": report["bench"],
+        "experiment": report["experiment"],
+        "configs": [],
+        "shape_checks": report["shape_checks"],
+    }
+    for cfg in report["configs"]:
+        out["configs"].append({
+            "label": cfg["label"],
+            "backend": cfg["backend"],
+            "ranks": cfg["ranks"],
+            "params": cfg["params"],
+            # One machine-specific reference point, used only by
+            # --measured-factor; everything else measured is stripped.
+            "measured_wall_s": cfg["measured_wall_s"],
+            "modeled_s": cfg["modeled_s"],
+            "modeled_by_phase_s": cfg["modeled_by_phase_s"],
+            "comm": {k: v for k, v in cfg["comm"].items()
+                     if k != "barrier_wait_ns"},
+        })
+    return out
+
+
+def dump_baseline(b):
+    """One line per config / shape check: diffs after a baseline refresh show
+    which configuration moved without expanding thousand-edge comm matrices
+    across ten thousand lines."""
+    def c(v):
+        return json.dumps(v, sort_keys=True, separators=(",", ":"))
+    lines = ["{"]
+    lines.append(f' "schema": {c(b["schema"])},')
+    lines.append(f' "bench": {c(b["bench"])},')
+    lines.append(f' "experiment": {c(b["experiment"])},')
+    lines.append(' "configs": [')
+    for i, cfg in enumerate(b["configs"]):
+        comma = "," if i + 1 < len(b["configs"]) else ""
+        lines.append(f"  {c(cfg)}{comma}")
+    lines.append(" ],")
+    lines.append(' "shape_checks": [')
+    for i, chk in enumerate(b["shape_checks"]):
+        comma = "," if i + 1 < len(b["shape_checks"]) else ""
+        lines.append(f"  {c(chk)}{comma}")
+    lines.append(" ]")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("reports", nargs="*",
+                    help="BENCH_*.json files (default: ./BENCH_*.json)")
+    ap.add_argument("--baselines", default=None,
+                    help="baseline dir (default: <repo>/bench/baselines)")
+    ap.add_argument("--update-baselines", action="store_true",
+                    help="rewrite baselines from the given reports")
+    ap.add_argument("--measured-factor", type=float, default=None,
+                    help="fail if measured_wall_s > baseline * FACTOR "
+                         "(default: measured times are report-only)")
+    args = ap.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_dir = args.baselines or os.path.join(repo_root, "bench",
+                                                  "baselines")
+    reports = args.reports or sorted(glob.glob("BENCH_*.json"))
+    if not reports:
+        print("FAIL  no BENCH_*.json reports found (run the bench binaries "
+              "from the directory holding their output, or pass paths)")
+        return 1
+
+    log = Log()
+    for path in reports:
+        ctx = os.path.basename(path)
+        try:
+            with open(path) as f:
+                report = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            log.fail(ctx, f"unreadable or invalid JSON: {e}")
+            continue
+        validate(report, ctx, log)
+        name = report.get("bench")
+        if not name:
+            continue
+        baseline_path = os.path.join(baseline_dir, f"{name}.json")
+        if args.update_baselines:
+            os.makedirs(baseline_dir, exist_ok=True)
+            with open(baseline_path, "w") as f:
+                f.write(dump_baseline(normalize(report)))
+            log.note(ctx, f"baseline written: {baseline_path}")
+            continue
+        if not os.path.exists(baseline_path):
+            log.warn(ctx, f"no committed baseline at {baseline_path} — "
+                          f"schema-checked only (use --update-baselines)")
+            continue
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        compare(report, baseline, ctx, log, args.measured_factor)
+
+    verb = "updated" if args.update_baselines else "checked"
+    print(f"{verb} {len(reports)} report(s): {log.failures} failure(s), "
+          f"{log.warnings} warning(s)")
+    return 1 if log.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
