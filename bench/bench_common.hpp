@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -226,6 +227,107 @@ inline ObsOverheadReport measure_obs_overhead(const harness::RunSpec& spec,
     const auto t1 = std::chrono::steady_clock::now();
     r.step_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
                 static_cast<double>(spec.params.num_steps);
+  }
+  return r;
+}
+
+/// Measured cost of the KernelCheck analyzer when it is *disabled*.  The
+/// contract (src/gpusim/check.hpp) is one pointer load + branch per
+/// GlobalSpan / shared-memory access; like ObsOverheadReport, the gate is
+/// expressed as a fraction of real step time so it survives access-count
+/// growth.
+struct KernelCheckOverheadReport {
+  double ns_per_site = 0.0;     ///< measured cost of one disabled check site
+  double sites_per_step = 0.0;  ///< instrumented accesses per step
+  double step_ns = 0.0;         ///< wall time of one step, checker off
+  double overhead() const {
+    return step_ns > 0.0 ? ns_per_site * sites_per_step / step_ns : 0.0;
+  }
+};
+
+/// Measures the disabled-KernelCheck overhead of `spec` on the GPU backend:
+/// (1) times the null-checker branch in a tight loop, (2) counts the
+/// instrumented accesses one step hits by running once with the checker on,
+/// (3) times a checker-off run.  SIMCOV_KERNEL_CHECK is unset for the
+/// duration (and restored after) so an environment-enabled checker cannot
+/// contaminate the "off" measurements.
+inline KernelCheckOverheadReport measure_kernel_check_overhead(
+    const harness::RunSpec& spec, int ranks) {
+  KernelCheckOverheadReport r;
+  const char* prev_env =
+      std::getenv("SIMCOV_KERNEL_CHECK");  // NOLINT(concurrency-mt-unsafe)
+  const std::string prev = prev_env != nullptr ? prev_env : "";
+  ::unsetenv("SIMCOV_KERNEL_CHECK");  // NOLINT(concurrency-mt-unsafe)
+
+  {
+    // The disabled path in GlobalSpan::read/write/atomic_add is exactly
+    // `if (chk_) ...` on a pointer member.  Its cost is measured
+    // *differentially inside a modeled accessor* (bounds assert + stats
+    // bump + the data access), because that is where the branch actually
+    // executes: out-of-order cores overlap a predicted-not-taken branch
+    // with the surrounding work, so timing it in an empty loop would
+    // overstate the cost ~10x.  Minimum over repetitions rejects timer and
+    // scheduler noise (noise is strictly additive here).
+    constexpr int kIters = 1 << 21;
+    constexpr int kReps = 5;
+    gpusim::KernelChecker* volatile chk = nullptr;
+    std::vector<double> data(4096, 1.0);
+    std::uint64_t reads = 0;
+    double acc = 0.0;
+    const auto accessor_loop = [&](bool with_hook) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kIters; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(i) & 4095u;
+        if (idx >= data.size()) std::abort();
+        ++reads;
+        if (with_hook) {
+          gpusim::KernelChecker* c = chk;
+          if (c != nullptr) {
+            c->on_global_access(data.data(), idx,
+                                gpusim::KernelChecker::Access::kRead);
+          }
+        }
+        acc += data[idx];
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+             kIters;
+    };
+    accessor_loop(false);  // warm-up
+    double best = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const double diff = accessor_loop(true) - accessor_loop(false);
+      if (rep == 0 || diff < best) best = diff;
+    }
+    // `acc`/`reads` keep the loops alive; fold them into the (never-taken)
+    // error path so the compiler cannot drop them.
+    if (acc < 0.0 || reads == 0) std::abort();
+    r.ns_per_site = best > 0.0 ? best : 0.0;
+  }
+
+  {
+    gpu::GpuSimOptions opt;
+    opt.num_ranks = ranks;
+    opt.decomp = spec.decomp;
+    opt.area_scale = spec.area_scale;
+    opt.check_kernels = true;
+    const gpu::GpuRunResult checked =
+        gpu::run_gpu_sim(spec.params, spec.resolve_foi(), opt);
+    r.sites_per_step = static_cast<double>(checked.check_accesses) /
+                       static_cast<double>(spec.params.num_steps);
+  }
+
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    harness::run_gpu(spec, ranks);
+    const auto t1 = std::chrono::steady_clock::now();
+    r.step_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                static_cast<double>(spec.params.num_steps);
+  }
+
+  if (prev_env != nullptr) {
+    ::setenv("SIMCOV_KERNEL_CHECK", prev.c_str(),
+             1);  // NOLINT(concurrency-mt-unsafe)
   }
   return r;
 }

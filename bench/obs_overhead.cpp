@@ -1,10 +1,12 @@
-// Overhead gate for the observability layer (src/obs).
+// Overhead gate for the observability layer (src/obs) and the KernelCheck
+// analyzer (src/gpusim/check.hpp).
 //
-// Not a paper figure: an engineering check that the always-compiled tracer
-// and metrics registry stay effectively free when disabled.  The measured
-// per-site cost (one relaxed atomic load + branch) times the number of
-// span/metric sites a real step hits must stay under 2% of the measured
-// step wall time.  If this check starts MISSing, either a span site gained
+// Not a paper figure: an engineering check that the always-compiled tracer,
+// metrics registry, and kernel-access check hooks stay effectively free
+// when disabled.  For each layer, the measured per-site cost (one relaxed
+// atomic load + branch for obs; one pointer load + branch for KernelCheck)
+// times the number of sites a real step hits must stay under 2% of the
+// measured step wall time.  If a check starts MISSing, either a site gained
 // work on the disabled path or sites multiplied faster than step cost.
 
 #include <cstdio>
@@ -36,6 +38,24 @@ int main() {
   rep.metric("sites_per_step", r.sites_per_step);
   rep.metric("step_ns", r.step_ns);
   rep.metric("disabled_overhead", r.overhead());
+
+  // Same gate for the KernelCheck hooks woven into every GlobalSpan and
+  // shared-memory access: a step executes orders of magnitude more access
+  // sites than span sites, so the disabled branch must be near-free.
+  const KernelCheckOverheadReport kc = measure_kernel_check_overhead(spec, 4);
+
+  TextTable kt({"quantity", "value"});
+  kt.add_row({"disabled check-site cost (ns)", fmt(kc.ns_per_site, 3)});
+  kt.add_row({"checked accesses per step", fmt(kc.sites_per_step, 1)});
+  kt.add_row({"step wall time (ms)", fmt(kc.step_ns / 1e6, 3)});
+  kt.add_row({"disabled overhead", fmt(kc.overhead() * 100.0, 4) + "%"});
+  std::printf("%s", kt.to_string().c_str());
+
+  rep.shape_check("disabled-site kernel-check overhead <= 2% of step time",
+                  kc.overhead() <= 0.02);
+  rep.metric("kernel_check_ns_per_site", kc.ns_per_site);
+  rep.metric("kernel_check_sites_per_step", kc.sites_per_step);
+  rep.metric("kernel_check_disabled_overhead", kc.overhead());
 
   // One instrumented run of the same spec so this report also carries
   // measured/modeled drift and the comm matrix.

@@ -22,22 +22,39 @@ class DeviceBuffer {
                 "device memory holds trivially copyable types only");
 
  public:
-  DeviceBuffer(Device& dev, std::size_t count, T init = T{})
+  DeviceBuffer(Device& dev, std::size_t count, T init = T{},
+               const char* name = nullptr)
       : device_(&dev), storage_(count, init) {
     device_->allocated_bytes_ += count * sizeof(T);
+    if (KernelChecker* chk = device_->checker()) {
+      chk->register_buffer(storage_.data(), count * sizeof(T), sizeof(T),
+                           name);
+    }
   }
 
   ~DeviceBuffer() {
-    if (device_) device_->allocated_bytes_ -= storage_.size() * sizeof(T);
+    if (device_) {
+      device_->allocated_bytes_ -= storage_.size() * sizeof(T);
+      if (KernelChecker* chk = device_->checker()) {
+        chk->unregister_buffer(storage_.data());
+      }
+    }
   }
 
+  // Moving transfers the registry identity for free: the checker keys on
+  // the heap storage, whose address survives a vector move.
   DeviceBuffer(DeviceBuffer&& o) noexcept
       : device_(o.device_), storage_(std::move(o.storage_)) {
     o.device_ = nullptr;
   }
   DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
     if (this != &o) {
-      if (device_) device_->allocated_bytes_ -= storage_.size() * sizeof(T);
+      if (device_) {
+        device_->allocated_bytes_ -= storage_.size() * sizeof(T);
+        if (KernelChecker* chk = device_->checker()) {
+          chk->unregister_buffer(storage_.data());
+        }
+      }
       device_ = o.device_;
       storage_ = std::move(o.storage_);
       o.device_ = nullptr;
@@ -75,6 +92,18 @@ class DeviceBuffer {
     require_host_access("fill");
     for (auto& v : storage_) v = value;
     device_->stats_.global_write_bytes += storage_.size() * sizeof(T);
+  }
+
+  /// Declares that the *next* kernel launch may legitimately produce
+  /// different bits in this buffer under permuted thread schedules (e.g.
+  /// an intentionally order-tolerant floating-point atomic reduction).
+  /// KernelCheck counts the tolerated difference instead of raising a
+  /// schedule-dependent-result violation.  No-op when checking is off.
+  void tolerate_schedule_variance(const char* rationale) {
+    SIMCOV_REQUIRE(device_ != nullptr, "buffer moved-from");
+    if (KernelChecker* chk = device_->checker()) {
+      chk->tolerate_schedule_variance(storage_.data(), rationale);
+    }
   }
 
  private:

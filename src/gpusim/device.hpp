@@ -20,11 +20,17 @@
 //     and phases separated by sync() see each other's writes (the
 //     __syncthreads model; threads within a phase run sequentially, which
 //     is a legal schedule of a data-race-free CUDA block).
+//   * Opt-in (DeviceOptions / SIMCOV_KERNEL_CHECK): KernelCheck
+//     (gpusim/check.hpp) shadow-checks every access for intra-launch races
+//     and can re-execute each launch under permuted thread schedules to
+//     certify bit-for-bit determinism.
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "gpusim/check.hpp"
 #include "util/error.hpp"
 
 namespace simcov::gpusim {
@@ -73,10 +79,22 @@ struct DeviceStats {
 struct LaunchConfig {
   std::uint32_t grid_dim = 1;   ///< number of blocks
   std::uint32_t block_dim = 1;  ///< threads per block
+  const char* name = nullptr;   ///< kernel name for diagnostics (optional)
 
   std::uint64_t total_threads() const {
     return static_cast<std::uint64_t>(grid_dim) * block_dim;
   }
+};
+
+/// Opt-in analyses; merged (OR) with the SIMCOV_KERNEL_CHECK environment
+/// override, mirroring the PGAS checker's UX.
+struct DeviceOptions {
+  bool check_kernels = false;      ///< KernelCheck access checking
+  bool permute_schedules = false;  ///< re-run launches under permuted orders
+  /// Record findings instead of throwing at end of launch; the owner
+  /// (run_gpu_sim) reports after all rank threads joined.  A rank thread
+  /// throwing mid-step would desert the team barrier and hang its peers.
+  bool defer_check_report = false;
 };
 
 template <typename T>
@@ -88,7 +106,16 @@ class BlockCtx;
 /// paper runs one process per GPU).
 class Device {
  public:
-  explicit Device(int id) : id_(id) {}
+  explicit Device(int id, DeviceOptions opts = {}) : id_(id) {
+    KernelCheckOptions copts = kernel_check_env();
+    copts.check_access = copts.check_access || opts.check_kernels;
+    copts.permute_schedules =
+        copts.permute_schedules || opts.permute_schedules;
+    copts.defer_report = opts.defer_check_report;
+    if (copts.enabled()) {
+      checker_ = std::make_unique<KernelChecker>(copts);
+    }
+  }
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -99,6 +126,10 @@ class Device {
 
   DeviceStats& stats() { return stats_; }
   const DeviceStats& stats() const { return stats_; }
+
+  /// The attached KernelChecker, or nullptr when checking is off.
+  KernelChecker* checker() { return checker_.get(); }
+  const KernelChecker* checker() const { return checker_.get(); }
 
   /// Launches a data-parallel kernel: `body(ThreadCtx&)` runs once per
   /// thread.  Threads must be independent (no shared memory); use
@@ -117,6 +148,11 @@ class Device {
   friend class ThreadCtx;
   friend class BlockCtx;
 
+  /// Thread/block iteration order for the current execution of a launch.
+  /// Canonical (ascending) is the only order the substrate ever commits;
+  /// reversed and seeded-shuffled exist for KernelCheck replays.
+  enum class Order : std::uint8_t { kCanonical, kReversed, kShuffled };
+
   void begin_kernel(const LaunchConfig& cfg) {
     SIMCOV_REQUIRE(cfg.grid_dim > 0 && cfg.block_dim > 0,
                    "launch config must have positive dimensions");
@@ -129,10 +165,56 @@ class Device {
   }
   void end_kernel() { --kernel_depth_; }
 
+  /// Position k of the outer iteration (flat thread index for
+  /// parallel_for, block index for launch_blocks) under the active order.
+  std::uint64_t sched_flat(std::uint64_t k, std::uint64_t n) const {
+    switch (order_) {
+      case Order::kReversed: return n - 1 - k;
+      case Order::kShuffled: return flat_perm_[k];
+      case Order::kCanonical: break;
+    }
+    return k;
+  }
+  /// Thread index at position k of a cooperative block's for_each_thread.
+  std::uint32_t thread_order(std::uint32_t k, std::uint32_t bd) const {
+    switch (order_) {
+      case Order::kReversed: return bd - 1 - k;
+      case Order::kShuffled:
+        return static_cast<std::uint32_t>(thread_perm_[k]);
+      case Order::kCanonical: break;
+    }
+    return k;
+  }
+  void set_order(Order o, const LaunchConfig& cfg, bool cooperative) {
+    order_ = o;
+    flat_perm_.clear();
+    thread_perm_.clear();
+    if (o != Order::kShuffled) return;
+    // Seeded by the launch sequence number: deterministic across runs,
+    // different across launches.
+    const std::uint64_t seed = checker_ ? checker_->launch_seq() : 1;
+    if (cooperative) {
+      flat_perm_ = seeded_permutation(seed * 2 + 1, cfg.grid_dim);
+      thread_perm_ = seeded_permutation(seed * 2 + 2, cfg.block_dim);
+    } else {
+      flat_perm_ = seeded_permutation(seed * 2 + 1, cfg.total_threads());
+    }
+  }
+
+  template <typename Exec>
+  void run_launch(const LaunchConfig& cfg, bool cooperative, Exec&& exec);
+  template <typename Exec>
+  void run_with_permutations(const LaunchConfig& cfg, bool cooperative,
+                             Exec&& exec);
+
   int id_;
   int kernel_depth_ = 0;
   std::size_t allocated_bytes_ = 0;
   DeviceStats stats_;
+  std::unique_ptr<KernelChecker> checker_;
+  Order order_ = Order::kCanonical;
+  std::vector<std::uint64_t> flat_perm_;
+  std::vector<std::uint64_t> thread_perm_;
 };
 
 }  // namespace simcov::gpusim
@@ -141,6 +223,52 @@ class Device {
 
 namespace simcov::gpusim {
 
+template <typename Exec>
+void Device::run_launch(const LaunchConfig& cfg, bool cooperative,
+                        Exec&& exec) {
+  if (!checker_) {
+    exec();
+    return;
+  }
+  checker_->begin_launch(cfg.name, cfg.grid_dim, cfg.block_dim);
+  if (checker_->permute_schedules()) {
+    run_with_permutations(cfg, cooperative, exec);
+  } else {
+    exec();
+  }
+  // Reports (and, for a raw Device, throws) from a normal call site — a
+  // throwing destructor would terminate.  If the body itself threw, this
+  // is skipped and only the launch-depth guard unwinds.
+  checker_->end_launch();
+}
+
+template <typename Exec>
+void Device::run_with_permutations(const LaunchConfig& cfg, bool cooperative,
+                                   Exec&& exec) {
+  // Replays first, canonical last: the canonical execution is the one
+  // whose memory effects and counters survive, so results are bit-
+  // identical whether or not permutation is enabled.
+  const KernelChecker::Snapshot pre = checker_->snapshot_buffers();
+  const DeviceStats saved = stats_;
+  KernelChecker::Snapshot posts[2];
+  checker_->set_replay(true);
+  const Order replays[2] = {Order::kReversed, Order::kShuffled};
+  for (int p = 0; p < 2; ++p) {
+    set_order(replays[p], cfg, cooperative);
+    exec();
+    posts[p] = checker_->snapshot_buffers();
+    checker_->restore_buffers(pre);
+    stats_ = saved;
+  }
+  checker_->set_replay(false);
+  set_order(Order::kCanonical, cfg, cooperative);
+  exec();
+  const KernelChecker::Snapshot post = checker_->snapshot_buffers();
+  checker_->diff_against_canonical(post, posts[0], "reversed");
+  checker_->diff_against_canonical(post, posts[1], "seeded-shuffle");
+  checker_->note_launch_permuted();
+}
+
 template <typename F>
 void Device::parallel_for(const LaunchConfig& cfg, F&& body) {
   begin_kernel(cfg);
@@ -148,14 +276,20 @@ void Device::parallel_for(const LaunchConfig& cfg, F&& body) {
     Device* d;
     ~Guard() { d->end_kernel(); }
   } guard{this};
-  for (std::uint32_t b = 0; b < cfg.grid_dim; ++b) {
-    ++stats_.blocks_executed;
-    for (std::uint32_t t = 0; t < cfg.block_dim; ++t) {
+  auto exec = [&] {
+    const std::uint64_t n = cfg.total_threads();
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const std::uint64_t idx = sched_flat(k, n);
+      const auto b = static_cast<std::uint32_t>(idx / cfg.block_dim);
+      const auto t = static_cast<std::uint32_t>(idx % cfg.block_dim);
+      if (t == 0) ++stats_.blocks_executed;
       ++stats_.threads_executed;
+      if (checker_) checker_->at_thread(b, t);
       ThreadCtx ctx(*this, cfg, b, t);
       body(ctx);
     }
-  }
+  };
+  run_launch(cfg, /*cooperative=*/false, exec);
 }
 
 template <typename F>
@@ -165,11 +299,16 @@ void Device::launch_blocks(const LaunchConfig& cfg, F&& body) {
     Device* d;
     ~Guard() { d->end_kernel(); }
   } guard{this};
-  for (std::uint32_t b = 0; b < cfg.grid_dim; ++b) {
-    ++stats_.blocks_executed;
-    BlockCtx ctx(*this, cfg, b);
-    body(ctx);
-  }
+  auto exec = [&] {
+    for (std::uint32_t k = 0; k < cfg.grid_dim; ++k) {
+      const auto b = static_cast<std::uint32_t>(sched_flat(k, cfg.grid_dim));
+      ++stats_.blocks_executed;
+      if (checker_) checker_->begin_block(b);
+      BlockCtx ctx(*this, cfg, b);
+      body(ctx);
+    }
+  };
+  run_launch(cfg, /*cooperative=*/true, exec);
 }
 
 }  // namespace simcov::gpusim

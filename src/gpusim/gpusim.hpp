@@ -2,6 +2,7 @@
 // Umbrella header for the virtual-GPU substrate.  Include this, not the
 // individual headers (they have mutual dependencies resolved here).
 
+#include "gpusim/check.hpp"    // IWYU pragma: export
 #include "gpusim/device.hpp"   // IWYU pragma: export
 #include "gpusim/buffer.hpp"   // IWYU pragma: export
 #include "gpusim/kernel.hpp"   // IWYU pragma: export

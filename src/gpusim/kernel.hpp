@@ -10,13 +10,21 @@
 //   access is bounds-checked and counted as global-memory traffic, and
 //   atomic read-modify-writes are counted separately (they are what the
 //   fast-reduction optimization of §3.3 eliminates).
+// SharedSpan<T>: the view BlockCtx::shared returns; element access goes
+//   through a proxy so the opt-in KernelChecker (check.hpp) can classify
+//   each touch as a read or a write against the phase contract.
+//
+// Every accessor funnels through KernelChecker hooks when a checker is
+// attached to the device (one predictable null-pointer branch otherwise);
+// this is the choke point that makes the race analyzer complete: kernels
+// have no other path to device data.
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <span>
 #include <vector>
 
+#include "gpusim/check.hpp"
 #include "util/error.hpp"
 
 namespace simcov::gpusim {
@@ -36,12 +44,14 @@ class GlobalSpan {
   T read(std::size_t i) const {
     SIMCOV_ASSERT(i < size_, "global read out of bounds");
     *read_bytes_ += sizeof(T);
+    if (chk_) chk_->on_global_access(data_, i, KernelChecker::Access::kRead);
     return data_[i];
   }
 
   void write(std::size_t i, T value) const {
     SIMCOV_ASSERT(i < size_, "global write out of bounds");
     *write_bytes_ += sizeof(T);
+    if (chk_) chk_->on_global_access(data_, i, KernelChecker::Access::kWrite);
     data_[i] = value;
   }
 
@@ -49,6 +59,7 @@ class GlobalSpan {
   T atomic_add(std::size_t i, T value) const {
     SIMCOV_ASSERT(i < size_, "atomic out of bounds");
     ++*atomics_;
+    if (chk_) chk_->on_global_access(data_, i, KernelChecker::Access::kAtomic);
     T old = data_[i];
     data_[i] = old + value;
     return old;
@@ -58,6 +69,7 @@ class GlobalSpan {
   T atomic_max(std::size_t i, T value) const {
     SIMCOV_ASSERT(i < size_, "atomic out of bounds");
     ++*atomics_;
+    if (chk_) chk_->on_global_access(data_, i, KernelChecker::Access::kAtomic);
     T old = data_[i];
     if (value > old) data_[i] = value;
     return old;
@@ -67,15 +79,68 @@ class GlobalSpan {
   friend class ThreadCtx;
   friend class BlockCtx;
   GlobalSpan(T* data, std::size_t size, std::uint64_t* rd, std::uint64_t* wr,
-             std::uint64_t* at)
+             std::uint64_t* at, KernelChecker* chk)
       : data_(data), size_(size), read_bytes_(rd), write_bytes_(wr),
-        atomics_(at) {}
+        atomics_(at), chk_(chk) {}
 
   T* data_;
   std::size_t size_;
   std::uint64_t* read_bytes_;
   std::uint64_t* write_bytes_;
   std::uint64_t* atomics_;
+  KernelChecker* chk_;
+};
+
+/// View of a per-block shared-memory allocation (__shared__ array).
+/// Element access returns a proxy so reads and writes are distinguishable
+/// by the checker; with the checker off the proxy compiles down to the
+/// plain load/store.
+template <typename T>
+class SharedSpan {
+ public:
+  class Ref {
+   public:
+    operator T() const {  // NOLINT(google-explicit-constructor) — proxy read
+      if (chk_) chk_->on_shared_access(base_, idx_, KernelChecker::Access::kRead);
+      return base_[idx_];
+    }
+    Ref& operator=(T value) {
+      if (chk_) {
+        chk_->on_shared_access(base_, idx_, KernelChecker::Access::kWrite);
+      }
+      base_[idx_] = value;
+      return *this;
+    }
+    // Proxy semantics: assigning from another Ref stores its value, it
+    // does not rebind this proxy.
+    Ref& operator=(const Ref& o) { return *this = static_cast<T>(o); }
+    Ref& operator+=(T value) { return *this = static_cast<T>(*this) + value; }
+    Ref(const Ref&) = default;
+
+   private:
+    friend class SharedSpan;
+    Ref(T* base, std::size_t idx, KernelChecker* chk)
+        : base_(base), idx_(idx), chk_(chk) {}
+    T* base_;
+    std::size_t idx_;
+    KernelChecker* chk_;
+  };
+
+  std::size_t size() const { return size_; }
+
+  Ref operator[](std::size_t i) const {
+    SIMCOV_ASSERT(i < size_, "shared memory access out of bounds");
+    return Ref(data_, i, chk_);
+  }
+
+ private:
+  friend class BlockCtx;
+  SharedSpan(T* data, std::size_t size, KernelChecker* chk)
+      : data_(data), size_(size), chk_(chk) {}
+
+  T* data_;
+  std::size_t size_;
+  KernelChecker* chk_;
 };
 
 /// Context of one thread in a data-parallel kernel.
@@ -118,14 +183,21 @@ class BlockCtx {
   /// Allocates a zero-initialized shared array for this block (the
   /// __shared__ declaration).  Counted toward shared_bytes_allocated.
   template <typename T>
-  std::span<T> shared(std::size_t count);
+  SharedSpan<T> shared(std::size_t count);
 
   /// Runs `fn(thread_idx)` for every thread of the block.  Consecutive
   /// calls are separated by an implicit __syncthreads: all effects of call
-  /// N are visible to call N+1.
+  /// N are visible to call N+1.  Entry and exit are both sync boundaries,
+  /// so block-driver code between calls occupies its own phase.
   template <typename F>
   void for_each_thread(F&& fn) {
-    for (std::uint32_t t = 0; t < block_dim_; ++t) fn(t);
+    sync_boundary();
+    for (std::uint32_t k = 0; k < block_dim_; ++k) {
+      std::uint32_t t = thread_at(k);
+      note_thread(t);
+      fn(t);
+    }
+    sync_boundary();
     bump_threads(block_dim_);
   }
 
@@ -136,6 +208,9 @@ class BlockCtx {
   friend class Device;
   BlockCtx(Device& d, const LaunchConfig& cfg, std::uint32_t b);
   void bump_threads(std::uint32_t n);
+  void sync_boundary();               ///< implicit __syncthreads
+  std::uint32_t thread_at(std::uint32_t k) const;  ///< schedule mapping
+  void note_thread(std::uint32_t t);  ///< checker position update
 
   Device* device_;
   std::uint32_t block_idx_, block_dim_, grid_dim_;

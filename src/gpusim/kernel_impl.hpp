@@ -19,7 +19,8 @@ GlobalSpan<T> ThreadCtx::global(DeviceBuffer<T>& buf) const {
                  "kernel bound a buffer from a different device");
   DeviceStats& s = device_->stats();
   return GlobalSpan<T>(buf.raw(), buf.size(), &s.global_read_bytes,
-                       &s.global_write_bytes, &s.atomic_ops);
+                       &s.global_write_bytes, &s.atomic_ops,
+                       device_->checker());
 }
 
 inline BlockCtx::BlockCtx(Device& d, const LaunchConfig& cfg, std::uint32_t b)
@@ -30,8 +31,20 @@ inline void BlockCtx::bump_threads(std::uint32_t n) {
   device_->stats().threads_executed += n;
 }
 
+inline void BlockCtx::sync_boundary() {
+  if (KernelChecker* chk = device_->checker()) chk->enter_phase();
+}
+
+inline std::uint32_t BlockCtx::thread_at(std::uint32_t k) const {
+  return device_->thread_order(k, block_dim_);
+}
+
+inline void BlockCtx::note_thread(std::uint32_t t) {
+  if (KernelChecker* chk = device_->checker()) chk->at_block_thread(t);
+}
+
 template <typename T>
-std::span<T> BlockCtx::shared(std::size_t count) {
+SharedSpan<T> BlockCtx::shared(std::size_t count) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "shared memory holds trivially copyable types only");
   const std::size_t bytes = count * sizeof(T);
@@ -43,7 +56,8 @@ std::span<T> BlockCtx::shared(std::size_t count) {
   shared_allocs_.push_back(
       std::make_unique<std::vector<std::byte>>(bytes, std::byte{0}));
   device_->stats().shared_bytes_allocated += bytes;
-  return {reinterpret_cast<T*>(shared_allocs_.back()->data()), count};
+  return SharedSpan<T>(reinterpret_cast<T*>(shared_allocs_.back()->data()),
+                       count, device_->checker());
 }
 
 template <typename T>
@@ -52,7 +66,8 @@ GlobalSpan<T> BlockCtx::global(DeviceBuffer<T>& buf) const {
                  "kernel bound a buffer from a different device");
   DeviceStats& s = device_->stats();
   return GlobalSpan<T>(buf.raw(), buf.size(), &s.global_read_bytes,
-                       &s.global_write_bytes, &s.atomic_ops);
+                       &s.global_write_bytes, &s.atomic_ops,
+                       device_->checker());
 }
 
 }  // namespace simcov::gpusim

@@ -70,6 +70,8 @@ BackendResult run_gpu(const RunSpec& spec, int gpu_ranks,
   opt.decomp = spec.decomp;
   opt.variant = variant;
   opt.area_scale = spec.area_scale;
+  opt.check_kernels = spec.check_kernels;
+  opt.permute_schedules = spec.permute_schedules;
   const std::vector<VoxelId> foi = spec.resolve_foi();
   const obs::Nanos t0 = obs::now_ns();
   gpu::GpuRunResult r = gpu::run_gpu_sim(spec.params, foi, opt);

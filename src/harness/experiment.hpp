@@ -34,6 +34,11 @@ struct RunSpec {
   /// Sub-domain shape (paper Fig. 1B); the decomposition ablation bench
   /// flips this to compare halo traffic.
   Decomposition::Kind decomp = Decomposition::Kind::kBlock2D;
+  /// KernelCheck (gpusim/check.hpp) for GPU runs: access-set race
+  /// detection, plus bit-determinism certification under permuted thread
+  /// schedules.  Also enabled by SIMCOV_KERNEL_CHECK.
+  bool check_kernels = false;
+  bool permute_schedules = false;
 
   std::vector<VoxelId> resolve_foi() const;
 };

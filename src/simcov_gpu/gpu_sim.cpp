@@ -64,39 +64,49 @@ class GpuRank {
  public:
   GpuRank(pgas::Rank& rank, const SimParams& params, const Decomposition& dec,
           const std::vector<VoxelId>& foi,
-          const std::vector<VoxelId>& empties, const GpuVariant& variant,
+          const std::vector<VoxelId>& empties, const GpuSimOptions& options,
           const perfmodel::CostModel& model)
       : rank_(rank), params_(params),
         grid_(params.dim_x, params.dim_y, params.dim_z),
-        sub_(dec.sub(rank.id())), rng_(params.seed), variant_(variant),
+        sub_(dec.sub(rank.id())), rng_(params.seed), variant_(options.variant),
         lay_(sub_.extent.x, sub_.extent.y, params.tile_side),
-        tiles_(lay_, variant.memory_tiling), dev_(rank.id()),
+        tiles_(lay_, options.variant.memory_tiling),
+        // Deferred reporting: a rank thread that threw mid-step would
+        // desert the team barrier and hang its peers, so findings are
+        // collected and run_gpu_sim throws once after all ranks joined.
+        dev_(rank.id(),
+             gpusim::DeviceOptions{options.check_kernels,
+                                   options.permute_schedules,
+                                   /*defer_check_report=*/true}),
         cost_log_(model), pclock_(rank.id()),
         // Device allocations: full padded layout per field.
-        epi_state_(dev_, lay_.size(), static_cast<std::uint8_t>(EpiState::kEmpty)),
-        epi_timer_(dev_, lay_.size(), 0),
-        tcell_(dev_, lay_.size(), 0),
-        tcell_timer_(dev_, lay_.size(), 0),
-        tcell_bind_(dev_, lay_.size(), 0),
-        virus_(dev_, lay_.size(), 0.0f),
-        chem_(dev_, lay_.size(), 0.0f),
-        tmp_(dev_, lay_.size(), 0.0f),
-        occupancy_(dev_, lay_.size(), 0),
-        eligible_(dev_, lay_.size(), 0),
-        intent_kind_(dev_, lay_.size(), 0),
-        intent_target_(dev_, lay_.size(), 0),
-        intent_bid_(dev_, lay_.size(), 0),
-        intent_timer_(dev_, lay_.size(), 0),
-        bid_move_(dev_, lay_.size(), 0),
-        bid_bind_(dev_, lay_.size(), 0),
-        active_tiles_dev_(dev_, static_cast<std::size_t>(lay_.num_tiles()), 0),
-        sweep_flags_(dev_, static_cast<std::size_t>(lay_.num_tiles()), 0),
-        stats_dev_(dev_, kNumDevStats, 0.0),
-        extrav_dev_(dev_, 1, 0),
-        stage_u8_(dev_, stage_len(), 0),
-        stage_u32_(dev_, stage_len(), 0),
-        stage_u64_(dev_, stage_len(), 0),
-        stage_f32_(dev_, stage_len(), 0.0f) {
+        epi_state_(dev_, lay_.size(),
+                   static_cast<std::uint8_t>(EpiState::kEmpty), "epi_state"),
+        epi_timer_(dev_, lay_.size(), 0, "epi_timer"),
+        tcell_(dev_, lay_.size(), 0, "tcell"),
+        tcell_timer_(dev_, lay_.size(), 0, "tcell_timer"),
+        tcell_bind_(dev_, lay_.size(), 0, "tcell_bind"),
+        virus_(dev_, lay_.size(), 0.0f, "virus"),
+        chem_(dev_, lay_.size(), 0.0f, "chem"),
+        tmp_(dev_, lay_.size(), 0.0f, "tmp"),
+        occupancy_(dev_, lay_.size(), 0, "occupancy"),
+        eligible_(dev_, lay_.size(), 0, "eligible"),
+        intent_kind_(dev_, lay_.size(), 0, "intent_kind"),
+        intent_target_(dev_, lay_.size(), 0, "intent_target"),
+        intent_bid_(dev_, lay_.size(), 0, "intent_bid"),
+        intent_timer_(dev_, lay_.size(), 0, "intent_timer"),
+        bid_move_(dev_, lay_.size(), 0, "bid_move"),
+        bid_bind_(dev_, lay_.size(), 0, "bid_bind"),
+        active_tiles_dev_(dev_, static_cast<std::size_t>(lay_.num_tiles()), 0,
+                          "active_tiles"),
+        sweep_flags_(dev_, static_cast<std::size_t>(lay_.num_tiles()), 0,
+                     "sweep_flags"),
+        stats_dev_(dev_, kNumDevStats, 0.0, "stats_dev"),
+        extrav_dev_(dev_, 1, 0, "extrav"),
+        stage_u8_(dev_, stage_len(), 0, "stage_u8"),
+        stage_u32_(dev_, stage_len(), 0, "stage_u32"),
+        stage_u64_(dev_, stage_len(), 0, "stage_u64"),
+        stage_f32_(dev_, stage_len(), 0.0f, "stage_f32") {
     SIMCOV_REQUIRE(params_.dim_z == 1,
                    "the parallel backends support 2D simulations");
     w_ = sub_.extent.x;
@@ -201,6 +211,7 @@ class GpuRank {
   const TimeSeries& history() const { return history_; }
   const perfmodel::RankCostLog& cost_log() const { return cost_log_; }
   const gpusim::DeviceStats& device_stats() const { return dev_.stats(); }
+  const gpusim::KernelChecker* checker() const { return dev_.checker(); }
 
  private:
   // ---- geometry helpers ------------------------------------------------------
@@ -238,17 +249,17 @@ class GpuRank {
   }
   static int opposite(int face) { return face ^ 1; }
 
-  LaunchConfig tile_launch() const {
+  LaunchConfig tile_launch(const char* name) const {
     const std::uint64_t items = static_cast<std::uint64_t>(
         tiles_.active_count() * static_cast<std::size_t>(lay_.slots_per_tile()));
     const auto bd = static_cast<std::uint32_t>(params_.block_dim);
-    return {static_cast<std::uint32_t>((items + bd - 1) / bd), bd};
+    return {static_cast<std::uint32_t>((items + bd - 1) / bd), bd, name};
   }
-  LaunchConfig linear_launch(std::uint64_t items) const {
+  LaunchConfig linear_launch(std::uint64_t items, const char* name) const {
     const auto bd = static_cast<std::uint32_t>(params_.block_dim);
     return {static_cast<std::uint32_t>(std::max<std::uint64_t>(
                 1, (items + bd - 1) / bd)),
-            bd};
+            bd, name};
   }
 
   // ---- initialization ------------------------------------------------------------
@@ -318,7 +329,7 @@ class GpuRank {
       if (nb < 0) continue;
       const std::size_t len = face_len(f);
       // Pack kernel: strip -> staging.
-      dev_.parallel_for(linear_launch(len), [&, f, len](auto& t) {
+      dev_.parallel_for(linear_launch(len, "halo_pack"), [&, f, len](auto& t) {
         const std::uint64_t i = t.global_index();
         if (i >= len) return;
         std::int32_t x, y;
@@ -347,7 +358,8 @@ class GpuRank {
       std::memcpy(recv.data(), data.data(), len * sizeof(T));
       stg.copy_from_host(std::span<const T>(recv.data(), len));
       // Unpack kernel: staging -> receive-side strip.
-      dev_.parallel_for(linear_launch(len), [&, f, len](auto& t) {
+      dev_.parallel_for(linear_launch(len, "halo_unpack"),
+                        [&, f, len](auto& t) {
         const std::uint64_t i = t.global_index();
         if (i >= len) return;
         std::int32_t x, y;
@@ -408,13 +420,13 @@ class GpuRank {
   // ---- kernels -------------------------------------------------------------------
   /// Runs `body(x, y, slot)` for every interior voxel of every active tile.
   template <typename F>
-  void for_active_voxels(F&& body) {
+  void for_active_voxels(const char* name, F&& body) {
     const auto& list = tiles_.active_list();
     if (list.empty()) return;
     const std::uint32_t spt =
         static_cast<std::uint32_t>(lay_.slots_per_tile());
     const std::uint64_t items = list.size() * spt;
-    dev_.parallel_for(tile_launch(), [&, items, spt](auto& t) {
+    dev_.parallel_for(tile_launch(name), [&, items, spt](auto& t) {
       const std::uint64_t i = t.global_index();
       if (i >= items) return;
       auto tiles_view = t.global(active_tiles_dev_);
@@ -428,7 +440,7 @@ class GpuRank {
   }
 
   void k_clear_bids() {
-    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+    for_active_voxels("k_clear_bids", [&](auto& t, std::int32_t, std::int32_t,
                           std::uint32_t slot) {
       t.global(bid_move_).write(slot, 0);
       t.global(bid_bind_).write(slot, 0);
@@ -438,7 +450,8 @@ class GpuRank {
     // Ghost region is a contiguous suffix of the layout.
     const std::uint32_t base = lay_.interior_slots();
     const std::uint64_t n = lay_.size() - base;
-    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+    dev_.parallel_for(linear_launch(n, "k_clear_bids_ghost"),
+                      [&, base, n](auto& t) {
       const std::uint64_t i = t.global_index();
       if (i >= n) return;
       const std::size_t slot = base + i;
@@ -449,7 +462,7 @@ class GpuRank {
   }
 
   void k_age_and_occupancy() {
-    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+    for_active_voxels("k_age_and_occupancy", [&](auto& t, std::int32_t, std::int32_t,
                           std::uint32_t slot) {
       auto tc = t.global(tcell_);
       auto occ = t.global(occupancy_);
@@ -483,7 +496,8 @@ class GpuRank {
   void k_ghost_occupancy() {
     const std::uint32_t base = lay_.interior_slots();
     const std::uint64_t n = lay_.size() - base;
-    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+    dev_.parallel_for(linear_launch(n, "k_ghost_occupancy"),
+                      [&, base, n](auto& t) {
       const std::uint64_t i = t.global_index();
       if (i >= n) return;
       const std::size_t slot = base + i;
@@ -500,8 +514,9 @@ class GpuRank {
 
   void k_intents() {
     const std::uint64_t step = step_;
-    for_active_voxels([&, step](auto& t, std::int32_t x, std::int32_t y,
-                                std::uint32_t slot) {
+    for_active_voxels("k_intents", [&, step](auto& t, std::int32_t x,
+                                              std::int32_t y,
+                                              std::uint32_t slot) {
       if (!t.global(eligible_).read(slot)) return;
       auto epi = t.global(epi_state_);
       // Neighbour view in contract order over the *global* grid bounds.
@@ -556,7 +571,7 @@ class GpuRank {
   }
 
   void k_moves_own() {
-    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+    for_active_voxels("k_moves_own", [&](auto& t, std::int32_t, std::int32_t,
                           std::uint32_t slot) {
       if (t.global(intent_kind_).read(slot) !=
           static_cast<std::uint8_t>(rules::IntentKind::kMove))
@@ -583,7 +598,8 @@ class GpuRank {
   void k_moves_entrants() {
     const std::uint32_t base = lay_.interior_slots();
     const std::uint64_t n = lay_.size() - base;
-    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+    dev_.parallel_for(linear_launch(n, "k_moves_entrants"),
+                      [&, base, n](auto& t) {
       const std::uint64_t i = t.global_index();
       if (i >= n) return;
       const std::size_t slot = base + i;
@@ -605,8 +621,9 @@ class GpuRank {
 
   void k_binds_own() {
     const std::uint64_t step = step_;
-    for_active_voxels([&, step](auto& t, std::int32_t, std::int32_t,
-                                std::uint32_t slot) {
+    for_active_voxels("k_binds_own", [&, step](auto& t, std::int32_t,
+                                               std::int32_t,
+                                               std::uint32_t slot) {
       if (t.global(intent_kind_).read(slot) !=
           static_cast<std::uint8_t>(rules::IntentKind::kBind))
         return;
@@ -633,7 +650,8 @@ class GpuRank {
     const std::uint64_t step = step_;
     const std::uint32_t base = lay_.interior_slots();
     const std::uint64_t n = lay_.size() - base;
-    dev_.parallel_for(linear_launch(n), [&, step, base, n](auto& t) {
+    dev_.parallel_for(linear_launch(n, "k_binds_ghost"),
+                      [&, step, base, n](auto& t) {
       const std::uint64_t i = t.global_index();
       if (i >= n) return;
       const std::size_t slot = base + i;
@@ -663,7 +681,8 @@ class GpuRank {
     const std::uint64_t attempts = rules::num_extravasation_attempts(
         pool_, params_.max_extravasate_per_step);
     const std::uint64_t step = step_;
-    dev_.launch_blocks({1, 1}, [&, attempts, step](auto& blk) {
+    dev_.launch_blocks({1, 1, "k_extravasation"},
+                       [&, attempts, step](auto& blk) {
       blk.for_each_thread([&](std::uint32_t) {
         auto tc = blk.global(tcell_);
         auto timer = blk.global(tcell_timer_);
@@ -695,8 +714,9 @@ class GpuRank {
 
   void k_epithelial() {
     const std::uint64_t step = step_;
-    for_active_voxels([&, step](auto& t, std::int32_t x, std::int32_t y,
-                                std::uint32_t slot) {
+    for_active_voxels("k_epithelial", [&, step](auto& t, std::int32_t x,
+                                                 std::int32_t y,
+                                                 std::uint32_t slot) {
       auto epi = t.global(epi_state_);
       const auto s = static_cast<EpiState>(epi.read(slot));
       if (s == EpiState::kEmpty || s == EpiState::kDead) return;
@@ -718,7 +738,7 @@ class GpuRank {
     const double floor_eps = is_virus ? params_.min_virus : params_.min_chem;
 
     // Production + decay into tmp (tmp is all-zero outside active tiles).
-    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
+    for_active_voxels("field_produce_decay", [&](auto& t, std::int32_t, std::int32_t,
                           std::uint32_t slot) {
       const auto s = static_cast<EpiState>(t.global(epi_state_).read(slot));
       const bool produces =
@@ -730,7 +750,7 @@ class GpuRank {
     // Boundary tmp -> neighbour ghosts (diffusion reads this-step values).
     exchange(tmp_, kPTmp, StripSide::kBoundary, MergeMode::kOverwrite);
     // Diffusion stencil reading tmp, writing the field.
-    for_active_voxels([&](auto& t, std::int32_t x, std::int32_t y,
+    for_active_voxels("field_diffuse", [&](auto& t, std::int32_t x, std::int32_t y,
                           std::uint32_t slot) {
       auto tmp = t.global(tmp_);
       const std::int32_t gx = sub_.origin.x + x, gy = sub_.origin.y + y;
@@ -750,13 +770,14 @@ class GpuRank {
     });
     // Re-zero tmp for the next field (active tiles + ghost strips only —
     // everything else was never written).
-    for_active_voxels([&](auto& t, std::int32_t, std::int32_t,
-                          std::uint32_t slot) {
+    for_active_voxels("field_rezero", [&](auto& t, std::int32_t,
+                                          std::int32_t, std::uint32_t slot) {
       t.global(tmp_).write(slot, 0.0f);
     });
     const std::uint32_t base = lay_.interior_slots();
     const std::uint64_t n = lay_.size() - base;
-    dev_.parallel_for(linear_launch(n), [&, base, n](auto& t) {
+    dev_.parallel_for(linear_launch(n, "field_rezero_ghost"),
+                      [&, base, n](auto& t) {
       const std::uint64_t i = t.global_index();
       if (i >= n) return;
       t.global(tmp_).write(base + i, 0.0f);
@@ -770,8 +791,14 @@ class GpuRank {
     const auto spt = static_cast<std::uint32_t>(lay_.slots_per_tile());
     const std::uint32_t bd = std::min<std::uint32_t>(spt, 1024);
     dev_.launch_blocks(
-        {static_cast<std::uint32_t>(lay_.num_tiles()), bd}, [&](auto& blk) {
-          auto found = blk.template shared<std::uint32_t>(1);
+        {static_cast<std::uint32_t>(lay_.num_tiles()), bd, "tile_sweep"},
+        [&](auto& blk) {
+          // One flag slot per thread: every thread writing a single shared
+          // found[0] in the same phase is a write-write race on real
+          // hardware (the old code relied on all writers storing the same
+          // value); the per-thread slots are OR-folded by thread 0 in the
+          // publishing phase, after the implicit __syncthreads.
+          auto found = blk.template shared<std::uint32_t>(bd);
           blk.for_each_thread([&](std::uint32_t tid) {
             auto epi = blk.global(epi_state_);
             auto tc = blk.global(tcell_);
@@ -785,14 +812,18 @@ class GpuRank {
               if (vir.read(slot) > 0.0f || che.read(slot) > 0.0f ||
                   tc.read(slot) != 0 ||
                   transient_epi(static_cast<EpiState>(epi.read(slot)))) {
-                found[0] = 1;
+                found[tid] = 1;
               }
             }
           });
           blk.for_each_thread([&](std::uint32_t tid) {
             if (tid == 0) {
+              std::uint32_t any = 0;
+              for (std::uint32_t k = 0; k < bd; ++k) {
+                any |= static_cast<std::uint32_t>(found[k]);
+              }
               blk.global(sweep_flags_)
-                  .write(blk.block_idx(), static_cast<std::uint8_t>(found[0]));
+                  .write(blk.block_idx(), static_cast<std::uint8_t>(any));
             }
           });
         });
@@ -841,7 +872,13 @@ class GpuRank {
   /// atomics — the contention §3.3 identifies as the dominant cost.
   void reduce_atomic() {
     const std::uint64_t n = lay_.interior_slots();
-    dev_.parallel_for(linear_launch(n), [&, n](auto& t) {
+    // Per-voxel floating-point atomic adds reorder under permuted
+    // schedules; this is the intentionally order-tolerant unoptimized
+    // variant (§3.3).  Consumers compare virus/chem at 1e-9 relative
+    // tolerance and the integer-valued stats are exact below 2^53.
+    stats_dev_.tolerate_schedule_variance(
+        "unoptimized per-voxel FP atomic reduction");
+    dev_.parallel_for(linear_launch(n, "reduce_atomic"), [&, n](auto& t) {
       const std::uint64_t i = t.global_index();
       if (i >= n) return;
       std::int32_t x, y;
@@ -867,7 +904,16 @@ class GpuRank {
     const std::uint32_t blocks = static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
         n / (static_cast<std::uint64_t>(bd) * 8), 1, 256));
     const std::uint64_t stride = static_cast<std::uint64_t>(blocks) * bd;
-    dev_.launch_blocks({blocks, bd}, [&, n, bd, stride](auto& blk) {
+    if (blocks > 1) {
+      // With several blocks the per-block partial sums meet in global
+      // memory through one FP atomic_add per stat, so block order can
+      // reorder the additions.  Single-block launches (every smoke-scale
+      // grid) fold in a fixed tree and stay bit-identical.
+      stats_dev_.tolerate_schedule_variance(
+          "cross-block FP atomic merge of partial sums");
+    }
+    dev_.launch_blocks({blocks, bd, "reduce_tree"},
+                       [&, n, bd, stride](auto& blk) {
       auto sh = blk.template shared<double>(static_cast<std::size_t>(bd) *
                                             kNumDevStats);
       blk.for_each_thread([&](std::uint32_t tid) {
@@ -948,6 +994,16 @@ class GpuRank {
           static_cast<double>(tiles_.activations()));
     m.set("gpu.tile_deactivations", r,
           static_cast<double>(tiles_.deactivations()));
+    if (const gpusim::KernelChecker* chk = dev_.checker()) {
+      m.set("gpu.check.launches", r,
+            static_cast<double>(chk->launches_checked()));
+      m.set("gpu.check.violations", r,
+            static_cast<double>(chk->violation_count()));
+      m.set("gpu.check.permuted", r,
+            static_cast<double>(chk->launches_permuted()));
+      m.set("gpu.check.tolerated", r,
+            static_cast<double>(chk->tolerated_diffs()));
+    }
   }
 
   // ---- members -----------------------------------------------------------------------
@@ -1035,9 +1091,15 @@ GpuRunResult run_gpu_sim(const SimParams& params,
       static_cast<std::size_t>(options.num_ranks));
   std::vector<gpusim::DeviceStats> dev_totals(
       static_cast<std::size_t>(options.num_ranks));
+  std::vector<std::string> check_reports(
+      static_cast<std::size_t>(options.num_ranks));
+  std::vector<std::uint64_t> check_violations(
+      static_cast<std::size_t>(options.num_ranks), 0);
+  std::vector<std::uint64_t> check_accesses(
+      static_cast<std::size_t>(options.num_ranks), 0);
 
   rt.run([&](pgas::Rank& rank) {
-    GpuRank sim(rank, params, dec, foi, empty_voxels, options.variant, model);
+    GpuRank sim(rank, params, dec, foi, empty_voxels, options, model);
     // SPMD sanity: rank 0 broadcasts a digest of its parameter set and every
     // rank checks its own copy against it.  Setup traffic happens before the
     // first step's counter snapshot, so this stays outside the modeled
@@ -1063,6 +1125,13 @@ GpuRunResult run_gpu_sim(const SimParams& params,
     }
     logs[static_cast<std::size_t>(rank.id())] = &sim.cost_log();
     dev_totals[static_cast<std::size_t>(rank.id())] = sim.device_stats();
+    if (const gpusim::KernelChecker* chk = sim.checker()) {
+      check_reports[static_cast<std::size_t>(rank.id())] = chk->report();
+      check_violations[static_cast<std::size_t>(rank.id())] =
+          chk->violation_count();
+      check_accesses[static_cast<std::size_t>(rank.id())] =
+          chk->accesses_checked();
+    }
     rank.barrier();
     if (rank.id() == 0) {
       result.cost =
@@ -1072,6 +1141,20 @@ GpuRunResult run_gpu_sim(const SimParams& params,
   });
 
   for (const auto& d : dev_totals) result.device_total += d;
+  for (std::size_t r = 0; r < check_violations.size(); ++r) {
+    result.check_violations += check_violations[r];
+    result.check_accesses += check_accesses[r];
+  }
+  if (result.check_violations > 0) {
+    // Deferred KernelCheck reporting: all ranks have joined, so one
+    // aggregated Error is safe to throw.
+    std::string msg = "KernelCheck: kernel discipline violation(s)";
+    for (std::size_t r = 0; r < check_reports.size(); ++r) {
+      if (check_reports[r].empty()) continue;
+      msg += "\nrank " + std::to_string(r) + ": " + check_reports[r];
+    }
+    throw Error(msg);
+  }
   const pgas::CommStats total = rt.total_stats();
   result.total_put_bytes = total.put_bytes;
   result.total_kernel_launches = result.device_total.kernel_launches;

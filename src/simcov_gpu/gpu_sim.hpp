@@ -56,6 +56,13 @@ struct GpuSimOptions {
   perfmodel::MachineSpec machine = perfmodel::MachineSpec::perlmutter_like();
   /// Modeled-time extrapolation to paper-scale grids (see CostModel).
   double area_scale = 1.0;
+  /// KernelCheck (gpusim/check.hpp): shadow access-set race detection on
+  /// every kernel launch.  Also enabled by SIMCOV_KERNEL_CHECK=1.
+  bool check_kernels = false;
+  /// KernelCheck schedule permutation: re-execute each launch under
+  /// reversed and seeded-shuffled thread orders and require bit-identical
+  /// results.  Also enabled by SIMCOV_KERNEL_CHECK=permute.
+  bool permute_schedules = false;
 };
 
 struct GpuRunResult {
@@ -68,6 +75,9 @@ struct GpuRunResult {
   /// Full per-rank communication counters (including the per-destination
   /// comm matrix in CommStats::peers), indexed by rank id.
   std::vector<pgas::CommStats> comm_by_rank;
+  /// KernelCheck totals over all ranks (zero when checking is off).
+  std::uint64_t check_accesses = 0;
+  std::uint64_t check_violations = 0;
 };
 
 /// Runs the full simulation SPMD with one virtual GPU per rank.

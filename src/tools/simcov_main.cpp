@@ -28,6 +28,9 @@
 //   engine        reference | cpu | gpu          (default reference)
 //   ranks         rank count for parallel engines (default 4)
 //   variant       combined | tiling | fastred | unoptimized  (gpu only)
+//   kernel_check  0 | 1 | permute               (gpu only) KernelCheck race
+//                 analyzer; permute also re-runs every launch under permuted
+//                 thread schedules (same as SIMCOV_KERNEL_CHECK)
 //   foi_mode      random | lattice | ct          (default random)
 //   lesions       CT lesion count                (foi_mode=ct)
 //   lesion_radius mean CT lesion radius          (foi_mode=ct)
@@ -66,7 +69,7 @@ const char* const kDriverKeys[] = {
     "engine",      "ranks",         "variant",     "foi_mode",
     "lesions",     "lesion_radius", "airways",     "airway_generations",
     "series_csv",  "frames",        "frame_prefix", "checkpoint",
-    "resume",      "steps_after_resume"};
+    "resume",      "steps_after_resume", "kernel_check"};
 
 bool is_driver_key(const std::string& k) {
   for (const char* d : kDriverKeys) {
@@ -210,6 +213,11 @@ int run(const Config& cfg) {
     gpu::GpuSimOptions opt;
     opt.num_ranks = ranks;
     opt.variant = parse_variant(cfg.get_string("variant", "combined"));
+    const std::string kc = cfg.get_string("kernel_check", "0");
+    SIMCOV_REQUIRE(kc == "0" || kc == "1" || kc == "permute",
+                   "kernel_check must be 0, 1 or permute");
+    opt.check_kernels = kc != "0";
+    opt.permute_schedules = kc == "permute";
     const auto r = gpu::run_gpu_sim(params, foi, opt, empties);
     result.history = r.history;
     result.cost = r.cost;
